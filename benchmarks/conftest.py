@@ -1,0 +1,63 @@
+"""Benchmark configuration.
+
+Every table and figure of the paper's evaluation has a benchmark that
+regenerates it and prints the same rows the paper reports.  All benchmarks
+share one memoised simulation sweep (per scale/seed), so the expensive
+full matrix runs once and each figure's bench measures its aggregation on
+top — except the first one to touch the matrix, which pays for (and
+therefore honestly times) the sweep.
+
+Scale selection: ``REPRO_BENCH_SCALE`` env var (smoke | small | medium),
+default ``small``.
+
+Rendered artifacts are printed (visible with ``pytest -s``) **and**
+appended to ``bench_artifacts.txt`` in the working directory, so the
+regenerated tables/figures survive pytest's output capturing.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+ARTIFACT_LOG = Path(os.environ.get("REPRO_BENCH_ARTIFACTS",
+                                   "bench_artifacts.txt"))
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seed():
+    return BENCH_SEED
+
+
+def run_and_render(benchmark, experiment_id, scale=None, seed=None):
+    """Benchmark one experiment build and print its artifact."""
+    from repro.experiments import run
+
+    scale = scale or BENCH_SCALE
+    seed = seed if seed is not None else BENCH_SEED
+    artifact = benchmark.pedantic(
+        lambda: run(experiment_id, scale=scale, seed=seed),
+        rounds=1, iterations=1,
+    )
+    text = artifact.render()
+    print()
+    print(text)
+    with ARTIFACT_LOG.open("a") as fh:
+        fh.write(text + "\n\n")
+    return artifact
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_artifact_log():
+    """Truncate the artifact log once per benchmark session."""
+    ARTIFACT_LOG.write_text(
+        f"# Artifacts regenerated at scale={BENCH_SCALE}, seed={BENCH_SEED}\n\n")
+    yield

@@ -1,0 +1,124 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not paper artifacts — these isolate the contribution of individual IPU
+ingredients and the Baseline modelling choice:
+
+* **ISR vs greedy victim selection** for IPU (how much of the benefit is
+  the coldness-aware policy versus the movement rules),
+* **three levels vs Work-only** (promotion disabled: every overflow
+  rewrite lands back at Work level),
+* **Baseline with and without sibling merging** (the paper's Baseline
+  does not merge; merging trades RMW reads for utilisation).
+"""
+
+import pytest
+
+from repro import BaselineFTL, IPUFTL, Simulator
+from repro.ftl.levels import BlockLevel
+from repro.ftl.victim import GreedyVictimPolicy
+
+from conftest import BENCH_SEED
+
+
+class GreedyIPU(IPUFTL):
+    """IPU with the conventional greedy victim policy (no Equation 1/2)."""
+
+    scheme_name = "ipu-greedy"
+
+    def _make_slc_policy(self):
+        return GreedyVictimPolicy()
+
+
+class FlatIPU(IPUFTL):
+    """IPU without the level hierarchy: overflows stay at Work level."""
+
+    scheme_name = "ipu-flat"
+
+    def _promotion_target(self, current_level):
+        return BlockLevel.WORK
+
+
+def _context():
+    from repro.experiments.runner import RunContext
+    return RunContext(scale="smoke", seed=BENCH_SEED)
+
+
+def _replay(ctx, ftl_cls, **kwargs):
+    cfg = ctx.trace_config("ts0")
+    ftl = ftl_cls(cfg, **kwargs)
+    return Simulator(ftl).run(ctx.trace("ts0"))
+
+
+def test_bench_ablation_isr_policy(benchmark):
+    """ISR versus greedy victim selection under IPU movement rules."""
+    ctx = _context()
+
+    def run():
+        return _replay(ctx, IPUFTL), _replay(ctx, GreedyIPU)
+
+    ipu, greedy = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"ISR victim:    lat={ipu.avg_latency_ms:.3f}ms "
+          f"evicted={ipu.evicted_subpages_to_mlc} erases={ipu.erases_slc}")
+    print(f"greedy victim: lat={greedy.avg_latency_ms:.3f}ms "
+          f"evicted={greedy.evicted_subpages_to_mlc} erases={greedy.erases_slc}")
+    assert ipu.n_requests == greedy.n_requests
+
+
+def test_bench_ablation_level_hierarchy(benchmark):
+    """Three-level promotion versus a flat Work-only cache."""
+    ctx = _context()
+
+    def run():
+        return _replay(ctx, IPUFTL), _replay(ctx, FlatIPU)
+
+    ipu, flat = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"three levels: lat={ipu.avg_latency_ms:.3f}ms "
+          f"intra={ipu.intra_page_updates} "
+          f"evicted={ipu.evicted_subpages_to_mlc}")
+    print(f"flat (Work):  lat={flat.avg_latency_ms:.3f}ms "
+          f"intra={flat.intra_page_updates} "
+          f"evicted={flat.evicted_subpages_to_mlc}")
+    assert flat.level_writes.get(int(BlockLevel.MONITOR), 0) == 0
+
+
+def test_bench_ablation_baseline_merge(benchmark):
+    """The paper's no-merge Baseline versus a read-modify-write variant."""
+    ctx = _context()
+
+    def run():
+        return (_replay(ctx, BaselineFTL),
+                _replay(ctx, BaselineFTL, merge_siblings=True))
+
+    plain, merged = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"no merge: util={plain.slc_page_utilization:.1%} "
+          f"lat={plain.avg_latency_ms:.3f}ms rmw_reads=0")
+    print(f"merge:    util={merged.slc_page_utilization:.1%} "
+          f"lat={merged.avg_latency_ms:.3f}ms")
+    # Merging must improve utilisation (it fills sibling slots).
+    assert merged.slc_page_utilization >= plain.slc_page_utilization
+
+
+def test_bench_ablation_transfer_model(benchmark):
+    """Full-page versus masked transfers: rerun Baseline with a fast bus
+    to see how much of its penalty is the page-buffer transfer."""
+    import dataclasses
+
+    ctx = _context()
+
+    def run():
+        slow = _replay(ctx, BaselineFTL)
+        cfg = ctx.trace_config("ts0")
+        fast_cfg = dataclasses.replace(
+            cfg, timing=dataclasses.replace(
+                cfg.timing, transfer_ms_per_subpage=0.005))
+        fast = Simulator(BaselineFTL(fast_cfg)).run(ctx.trace("ts0"))
+        return slow, fast
+
+    slow, fast = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"100 MB/s bus: write={slow.avg_write_latency_ms:.3f}ms")
+    print(f"800 MB/s bus: write={fast.avg_write_latency_ms:.3f}ms")
+    assert fast.avg_write_latency_ms < slow.avg_write_latency_ms

@@ -1,0 +1,45 @@
+"""Extension studies: the Delta comparator and translation overhead."""
+
+from conftest import run_and_render
+
+
+def test_bench_ext_delta(benchmark):
+    artifact = run_and_render(benchmark, "ext-delta")
+    assert artifact.rows
+    # IPU's invariant holds in every run: zero valid subpages disturbed.
+    ipu_rows = [r for r in artifact.rows if r["Scheme"] == "ipu"]
+    assert all(r["disturbed valid"] == 0 for r in ipu_rows)
+
+
+def test_bench_ext_translation(benchmark):
+    artifact = run_and_render(benchmark, "ext-translation")
+    assert artifact.rows
+    misses = {}
+    for row in artifact.rows:
+        misses.setdefault(row["Scheme"], []).append(int(row["misses"]))
+    # MGA's two-level table always misses more (its key space is denser).
+    for mga, ipu in zip(misses["mga"], misses["ipu"]):
+        assert mga > ipu
+
+
+def test_bench_ext_qd(benchmark):
+    artifact = run_and_render(benchmark, "ext-qd")
+    assert artifact.rows
+    # At deep queues IPU sustains at least Baseline's throughput.
+    deep = [r for r in artifact.rows if r["QD"] == 64]
+    kiops = {r["Scheme"]: float(r["KIOPS"]) for r in deep}
+    assert kiops["ipu"] > kiops["baseline"]
+
+
+def test_bench_ext_seeds(benchmark):
+    artifact = run_and_render(benchmark, "ext-seeds")
+    # The headline gain must hold for every seed.
+    for row in artifact.rows:
+        assert row["IPU vs Base lat"].startswith("-")
+
+
+def test_bench_ext_cache(benchmark):
+    artifact = run_and_render(benchmark, "ext-cache")
+    evicted = [int(r["evicted"]) for r in artifact.rows]
+    # Bigger cache, fewer evictions.
+    assert evicted[0] >= evicted[1] >= evicted[2]

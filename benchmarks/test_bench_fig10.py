@@ -1,0 +1,13 @@
+"""Figure 10: erase counts in the SLC-mode cache (a) and MLC region (b)."""
+
+from conftest import run_and_render
+
+
+def test_bench_fig10a(benchmark):
+    artifact = run_and_render(benchmark, "fig10")
+    assert artifact.rows
+
+
+def test_bench_fig10b(benchmark):
+    artifact = run_and_render(benchmark, "fig10b")
+    assert artifact.rows

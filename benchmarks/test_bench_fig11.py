@@ -1,0 +1,8 @@
+"""Figure 11: normalised mapping-table size (regenerated)."""
+
+from conftest import run_and_render
+
+
+def test_bench_fig11(benchmark):
+    artifact = run_and_render(benchmark, "fig11")
+    assert artifact.rows

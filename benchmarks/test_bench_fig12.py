@@ -1,0 +1,8 @@
+"""Figure 12: GC victim-selection compute overhead (regenerated)."""
+
+from conftest import run_and_render
+
+
+def test_bench_fig12(benchmark):
+    artifact = run_and_render(benchmark, "fig12")
+    assert artifact.rows

@@ -1,0 +1,8 @@
+"""Figure 13: I/O latency under varied P/E cycles (regenerated)."""
+
+from conftest import run_and_render
+
+
+def test_bench_fig13(benchmark):
+    artifact = run_and_render(benchmark, "fig13")
+    assert artifact.rows

@@ -1,0 +1,8 @@
+"""Figure 14: read error rate under varied P/E cycles (regenerated)."""
+
+from conftest import run_and_render
+
+
+def test_bench_fig14(benchmark):
+    artifact = run_and_render(benchmark, "fig14")
+    assert artifact.rows

@@ -1,0 +1,8 @@
+"""Figure 2: RBER of conventional vs partial programming (regenerated)."""
+
+from conftest import run_and_render
+
+
+def test_bench_fig2(benchmark):
+    artifact = run_and_render(benchmark, "fig2")
+    assert artifact.rows

@@ -1,0 +1,8 @@
+"""Figure 5: I/O response time per trace and scheme (regenerated)."""
+
+from conftest import run_and_render
+
+
+def test_bench_fig5(benchmark):
+    artifact = run_and_render(benchmark, "fig5")
+    assert artifact.rows

@@ -1,0 +1,8 @@
+"""Figure 6: completed writes in SLC vs MLC regions (regenerated)."""
+
+from conftest import run_and_render
+
+
+def test_bench_fig6(benchmark):
+    artifact = run_and_render(benchmark, "fig6")
+    assert artifact.rows

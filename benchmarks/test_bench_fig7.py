@@ -1,0 +1,8 @@
+"""Figure 7: IPU write distribution over block levels (regenerated)."""
+
+from conftest import run_and_render
+
+
+def test_bench_fig7(benchmark):
+    artifact = run_and_render(benchmark, "fig7")
+    assert artifact.rows

@@ -1,0 +1,8 @@
+"""Figure 8: average read error rate (regenerated)."""
+
+from conftest import run_and_render
+
+
+def test_bench_fig8(benchmark):
+    artifact = run_and_render(benchmark, "fig8")
+    assert artifact.rows

@@ -1,0 +1,8 @@
+"""Figure 9: page utilisation of collected SLC blocks (regenerated)."""
+
+from conftest import run_and_render
+
+
+def test_bench_fig9(benchmark):
+    artifact = run_and_render(benchmark, "fig9")
+    assert artifact.rows

@@ -1,0 +1,10 @@
+"""Paper-vs-measured scoreboard (condensed EXPERIMENTS.md, computed live)."""
+
+from conftest import run_and_render
+
+
+def test_bench_summary(benchmark):
+    artifact = run_and_render(benchmark, "summary")
+    verdicts = artifact.column("Shape")
+    # Every shape except the documented IPU-vs-MGA inversion must hold.
+    assert verdicts.count("DEVIATES") <= 1

@@ -1,0 +1,8 @@
+"""Table 1: update-size distribution of the evaluation traces (regenerated)."""
+
+from conftest import run_and_render
+
+
+def test_bench_table1(benchmark):
+    artifact = run_and_render(benchmark, "table1")
+    assert artifact.rows

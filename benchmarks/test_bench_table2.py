@@ -1,0 +1,8 @@
+"""Table 2: simulator settings self-check (regenerated)."""
+
+from conftest import run_and_render
+
+
+def test_bench_table2(benchmark):
+    artifact = run_and_render(benchmark, "table2")
+    assert artifact.rows

@@ -1,0 +1,8 @@
+"""Table 3: trace specifications (regenerated)."""
+
+from conftest import run_and_render
+
+
+def test_bench_table3(benchmark):
+    artifact = run_and_render(benchmark, "table3")
+    assert artifact.rows

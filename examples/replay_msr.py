@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Replay a real MSR-Cambridge CSV trace (or a synthetic stand-in).
+
+If you have the original MSR block I/O traces (ts_0.csv etc. from SNIA
+IOTTA), pass the path; otherwise this example writes a synthetic trace in
+the MSR CSV format first and replays that — demonstrating the full
+file-based pipeline: parse -> characterise -> simulate.
+
+Run:  python examples/replay_msr.py [path/to/trace.csv]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import IPUFTL, Simulator
+from repro.config import CacheConfig, GeometryConfig, SSDConfig
+from repro.metrics.report import format_table
+from repro.traces import characterize, generate, parse_msr_csv, profile
+from repro.traces.msr import write_msr_csv
+
+
+def get_trace_path() -> Path:
+    if len(sys.argv) > 1:
+        return Path(sys.argv[1])
+    # No real trace available: synthesise one and round-trip it through
+    # the MSR CSV format.
+    path = Path(tempfile.gettempdir()) / "repro_synthetic_wdev0.csv"
+    print(f"No trace supplied; writing a synthetic wdev0 to {path}")
+    trace = generate(profile("wdev0"), n_requests=5_000, seed=2,
+                     mean_interarrival_ms=1.2)
+    write_msr_csv(trace, path)
+    return path
+
+
+def main() -> None:
+    path = get_trace_path()
+    trace = parse_msr_csv(path, max_requests=50_000)
+    stats = characterize(trace)
+    print()
+    print(format_table([stats.table3_row()], title="Trace specification"))
+    print(format_table([stats.table1_row()],
+                       title="Updated-request size distribution"))
+    print()
+
+    # Size the device so the trace pressures the cache.
+    span_blocks = max(64, trace.footprint_bytes * 2 // (128 * 16384))
+    planes = 8
+    total = span_blocks + (-span_blocks) % planes
+    config = SSDConfig(
+        geometry=GeometryConfig(channels=4, chips_per_channel=2,
+                                planes_per_chip=1, total_blocks=total),
+        cache=CacheConfig(slc_ratio=0.10),
+    ).validate()
+
+    result = Simulator(IPUFTL(config)).run(trace)
+    print(format_table(
+        [{"metric": k, "value": v} for k, v in result.summary().items()],
+        title=f"IPU replay of {trace.name}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+#!/usr/bin/env python3
+"""Regenerate every reference artifact JSON in this directory."""
+
+from pathlib import Path
+
+from repro.experiments import EXPERIMENTS, run
+
+OUT = Path(__file__).parent
+SCALE, SEED = "small", 1
+
+for eid in EXPERIMENTS:
+    artifact = run(eid, scale=SCALE, seed=SEED)
+    path = OUT / f"{eid}.json"
+    artifact.save_json(path)
+    print(f"wrote {path}")

@@ -1,0 +1,142 @@
+"""Command-line interface.
+
+::
+
+    repro-ssd list                         # experiment ids
+    repro-ssd run fig5 --scale small       # regenerate one figure/table
+    repro-ssd all --scale smoke            # regenerate everything
+    repro-ssd simulate --trace ts0 --scheme ipu --scale smoke
+    repro-ssd traces                       # profile summary
+
+(also reachable as ``python -m repro ...``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import SCHEMES, __version__
+from .experiments import EXPERIMENTS, run as run_experiment
+from .experiments.runner import default_context
+from .metrics.report import format_table
+from .traces.profiles import PROFILES
+from .units import KIB
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [{"id": eid, "builder": fn.__module__.split(".")[-1]}
+            for eid, fn in EXPERIMENTS.items()]
+    print(format_table(rows, title="Available experiments"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    artifact = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+    print(artifact.render())
+    if args.json:
+        artifact.save_json(args.json)
+        print(f"(rows written to {args.json})")
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    for eid in EXPERIMENTS:
+        artifact = run_experiment(eid, scale=args.scale, seed=args.seed)
+        print(artifact.render())
+        print()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    ctx = default_context(args.scale, args.seed)
+    if args.qd:
+        from . import SCHEMES as schemes
+        from .sim import Simulator
+        ftl = schemes[args.scheme](ctx.trace_config(args.trace))
+        result = Simulator(ftl).run_closed(ctx.trace(args.trace),
+                                           queue_depth=args.qd)
+        mode = f"closed loop, QD={args.qd}"
+    else:
+        result = ctx.run(args.trace, args.scheme)
+        mode = "open loop"
+    rows = [{"metric": k, "value": v} for k, v in result.summary().items()]
+    if args.qd and result.sim_time_ms:
+        rows.append({"metric": "KIOPS",
+                     "value": f"{result.n_requests / result.sim_time_ms:.3f}"})
+    print(format_table(rows, title=f"{args.scheme} on {args.trace} "
+                                   f"({mode}, scale={args.scale})"))
+    return 0
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "trace": p.name,
+            "# req (paper)": f"{p.n_requests:,}",
+            "write ratio": f"{p.write_ratio:.1%}",
+            "write size": f"{p.mean_write_bytes / KIB:.1f}KB",
+            "hot write": f"{p.hot_write_ratio:.1%}",
+            "<=4K updates": f"{p.update_size_probs[0]:.1%}",
+        }
+        for p in PROFILES.values()
+    ]
+    print(format_table(rows, title="Evaluation trace profiles (Tables 1 & 3)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for shell-completion tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ssd",
+        description=("Reproduction of 'Intra-page Cache Update in SLC-mode "
+                     "with Partial Programming in High Density SSDs' "
+                     "(ICPP 2021)"),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids").set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="regenerate one table/figure")
+    p_run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    p_run.add_argument("--scale", default="small",
+                       choices=("smoke", "small", "medium", "paper"))
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--json", metavar="PATH",
+                       help="also write the artifact rows as JSON")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_all = sub.add_parser("all", help="regenerate every table/figure")
+    p_all.add_argument("--scale", default="small",
+                       choices=("smoke", "small", "medium", "paper"))
+    p_all.add_argument("--seed", type=int, default=1)
+    p_all.set_defaults(fn=_cmd_all)
+
+    p_sim = sub.add_parser("simulate", help="replay one trace/scheme pair")
+    p_sim.add_argument("--trace", default="ts0", choices=sorted(PROFILES))
+    p_sim.add_argument("--scheme", default="ipu", choices=sorted(SCHEMES))
+    p_sim.add_argument("--scale", default="smoke",
+                       choices=("smoke", "small", "medium", "paper"))
+    p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument("--qd", type=int, default=0, metavar="DEPTH",
+                       help="closed-loop replay at this queue depth "
+                            "(0 = open-loop timestamp replay)")
+    p_sim.set_defaults(fn=_cmd_simulate)
+
+    sub.add_parser("traces", help="show trace profiles").set_defaults(fn=_cmd_traces)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output was piped into something that closed early (| head).
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""The paper's contribution: Intra-page Update (IPU).
+
+* :mod:`repro.core.intra_page` — the in-page update decision: can an
+  update be partial-programmed into the free slots of the page that holds
+  the previous version of the data?
+* :mod:`repro.core.ipu_ftl` — the full scheme: intra-page updates, the
+  Work/Monitor/Hot level hierarchy with upgraded movement on overflow and
+  degraded movement during GC, and the ISR victim policy (Equations 1-2).
+
+Block levels and the ISR arithmetic live in :mod:`repro.ftl.levels` and
+:mod:`repro.ftl.hotcold` (the framework layer) and are re-exported here.
+"""
+
+from ..ftl.levels import BlockLevel, SLC_LEVELS
+from ..ftl.hotcold import block_isr, block_coldness, coldness_weight
+from .intra_page import IntraPagePlan, plan_intra_page_update
+from .ipu_ftl import IPUFTL
+
+__all__ = [
+    "BlockLevel",
+    "SLC_LEVELS",
+    "block_isr",
+    "block_coldness",
+    "coldness_weight",
+    "IntraPagePlan",
+    "plan_intra_page_update",
+    "IPUFTL",
+]

@@ -1,0 +1,179 @@
+"""The IPU scheme (Section 3, Algorithm 1).
+
+Write path, per logical-page chunk:
+
+* **new data** -> a fresh page in a *Work* block (Algorithm 1 line 5),
+* **update that fits its page** -> partial-programmed into the free slots
+  of the page holding the previous version; the old slots are invalidated
+  first, so in-page disturb only touches obsolete data (lines 6-9),
+* **update that overflows** -> a fresh page one block-level up
+  (Work -> Monitor -> Hot; line 11), which is what identifies hot data.
+
+GC uses the ISR victim policy (Equations 1-2) and the *degraded* movement
+rule (lines 14-19): pages whose resident data was updated while in the
+victim move to a same-level block (they proved hot); never-updated pages
+move one level down, falling out of the SLC cache into the high-density
+region once they drop below Work level.
+"""
+
+from __future__ import annotations
+
+from ..config import SSDConfig
+from ..nand.block import Block
+from ..nand.flash import FlashArray
+from ..nand.geometry import PPA
+from ..sim.ops import Cause, OpRecord
+from ..ftl.base import BaseFTL
+from ..ftl.levels import BlockLevel
+from ..ftl.mapping import SubpageMap
+from ..ftl.victim import IsrVictimPolicy, VictimPolicy
+from .intra_page import plan_intra_page_update
+
+
+class IPUFTL(BaseFTL):
+    """Intra-page update with three-level hot/cold separation."""
+
+    scheme_name = "ipu"
+    uses_partial_programming = True
+
+    def __init__(self, config: SSDConfig, flash: FlashArray | None = None):
+        super().__init__(config, flash)
+        self.subpage_map = SubpageMap()
+
+    def _make_slc_policy(self) -> VictimPolicy:
+        return IsrVictimPolicy(refresh_ms=self.config.reliability.isr_refresh_ms)
+
+    def _promotion_target(self, current_level: int) -> BlockLevel:
+        """Level an overflowing update moves to (hook for ablations)."""
+        return BlockLevel(current_level).promoted()
+
+    # -- mapping ----------------------------------------------------------
+
+    def lookup(self, lsn: int) -> PPA | None:
+        return self.subpage_map.lookup(lsn)
+
+    def iter_bindings(self):
+        yield from self.subpage_map.items()
+
+    def _invalidate_lsn(self, lsn: int) -> None:
+        ppa = self.subpage_map.lookup(lsn)
+        if ppa is not None:
+            self.flash.invalidate(ppa.block, ppa.page, ppa.slot)
+            self.subpage_map.unbind(lsn)
+
+    # -- write path -------------------------------------------------------------
+
+    def write(self, lsns: list[int], now: float) -> list[OpRecord]:
+        ops: list[OpRecord] = []
+        for chunk in self.chunks_by_lpn(lsns):
+            mappings = [self.subpage_map.lookup(lsn) for lsn in chunk]
+            plan = plan_intra_page_update(
+                chunk, mappings,
+                get_block=self.flash.block,
+                max_page_programs=self.config.reliability.max_page_programs,
+            )
+            if plan is not None:
+                ops.append(self._intra_page_update(chunk, plan, now))
+                continue
+            ops.extend(self._out_of_place_write(chunk, mappings, now))
+        return ops
+
+    def _intra_page_update(self, chunk: list[int], plan, now: float) -> OpRecord:
+        """Algorithm 1 lines 6-9: update inside the same page."""
+        block = self.flash.block(plan.block_id)
+        # Invalidate first: the partial pass then disturbs no live data
+        # inside the page.
+        for lsn, old_slot in zip(chunk, plan.old_slots):
+            self.flash.invalidate(plan.block_id, plan.page, old_slot)
+            self.subpage_map.unbind(lsn)
+        op = self.program_subpages(block, plan.page, list(plan.target_slots),
+                                   chunk, now, Cause.HOST)
+        for lsn, slot in zip(chunk, plan.target_slots):
+            self.subpage_map.bind(lsn, PPA(plan.block_id, plan.page, slot))
+        block.mark_page_updated(plan.page)
+        self.stats.intra_page_updates += 1
+        self.stats.update_writes += 1
+        level = block.level if block.level is not None else 0
+        self.stats.note_level_write(level)
+        return op
+
+    def _out_of_place_write(self, chunk: list[int], mappings: list[PPA | None],
+                            now: float) -> list[OpRecord]:
+        """Algorithm 1 lines 4-5 and 10-11: fresh page, possibly upgraded."""
+        ops: list[OpRecord] = []
+        mapped = [m for m in mappings if m is not None]
+        if mapped:
+            self.stats.update_writes += 1
+            current = max(
+                (self.flash.block(m.block).level or 0) for m in mapped)
+            target = self._promotion_target(current)
+            self.stats.upgrade_moves += 1
+        else:
+            self.stats.new_data_writes += 1
+            target = BlockLevel.WORK
+
+        for lsn, m in zip(chunk, mappings):
+            if m is not None:
+                self.flash.invalidate(m.block, m.page, m.slot)
+                self.subpage_map.unbind(lsn)
+
+        res = self.alloc_slc_page(target, now, ops)
+        if res is None:
+            res = self.alloc_mlc_page(now, ops)
+            self.stats.slc_overflow_chunks += 1
+        block, page = res
+        slots = list(range(len(chunk)))
+        ops.append(self.program_subpages(block, page, slots, chunk, now, Cause.HOST))
+        for lsn, slot in zip(chunk, slots):
+            self.subpage_map.bind(lsn, PPA(block.block_id, page, slot))
+        level = block.level if block.level is not None else 0
+        self.stats.note_level_write(level)
+        return ops
+
+    # -- GC movement (degraded data movement, lines 14-19) -----------------------------
+
+    def _relocate_slc_page(self, victim: Block, page: int, slots: list[int],
+                           lsns: list[int], now: float, cause: Cause) -> list[OpRecord]:
+        updated = bool(victim.page_updated[page])
+        level = BlockLevel(victim.level if victim.level is not None else
+                           int(BlockLevel.WORK))
+        target = level if updated else level.demoted()
+        ops: list[OpRecord] = []
+
+        if target.is_slc:
+            # Same-level (hot) or one-level-down (cold) SLC destination.
+            # No recursive GC here: if the pool is dry the data falls
+            # through to the high-density region.
+            res = self.slc_alloc.alloc_page(int(target), now, for_gc=True)
+            if res is not None:
+                return self._move_chunk(victim, page, slots, lsns, res, now, cause)
+        self.stats.evicted_subpages_to_mlc += len(slots)
+        res = self.alloc_mlc_page(now, ops, for_gc=True)
+        ops.extend(self._move_chunk(victim, page, slots, lsns, res, now, cause))
+        return ops
+
+    def _relocate_mlc_page(self, victim: Block, page: int, slots: list[int],
+                           lsns: list[int], now: float, cause: Cause) -> list[OpRecord]:
+        ops: list[OpRecord] = []
+        res = self.alloc_mlc_page(now, ops, for_gc=True)
+        ops.extend(self._move_chunk(victim, page, slots, lsns, res, now, cause))
+        return ops
+
+    def _move_chunk(self, victim: Block, page: int, slots: list[int],
+                    lsns: list[int], dest: tuple[Block, int], now: float,
+                    cause: Cause) -> list[OpRecord]:
+        """Program one page's valid data compactly at the destination.
+
+        The destination page keeps the extent-grouped layout (slots 0..k),
+        so future updates of the data can still use intra-page programming,
+        and the new page starts with a clean ``page_updated`` flag — a
+        relocated page must prove its hotness again before the next GC.
+        """
+        block, npage = dest
+        for s in slots:
+            self.flash.invalidate(victim.block_id, page, s)
+        new_slots = list(range(len(lsns)))
+        op = self.program_subpages(block, npage, new_slots, lsns, now, cause)
+        for lsn, slot in zip(lsns, new_slots):
+            self.subpage_map.bind(lsn, PPA(block.block_id, npage, slot))
+        return [op]

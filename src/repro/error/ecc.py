@@ -1,0 +1,65 @@
+"""ECC decode latency model.
+
+The BCH decoder of Table 2 takes between ``ecc_min_ms`` (clean read,
+syndrome check only) and ``ecc_max_ms`` (errors close to the correction
+capability, full Chien search).  We interpolate linearly in the ratio of
+expected raw errors per codeword to the capability ``t`` — the standard
+first-order model for iterative BCH decoding effort — and clamp at the
+maximum, which also covers the retry penalty of a saturated decoder.
+
+The *read error rate* metric the paper reports (Figures 8 and 14) is the
+expected number of raw bit errors per bit read; :class:`EccModel` exposes
+the per-read expectation so the metrics layer can accumulate it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ReliabilityConfig, TimingConfig
+from .bch import BCHCode
+
+
+class EccModel:
+    """Decode-latency and raw-error expectations for page reads."""
+
+    def __init__(self, timing: TimingConfig, reliability: ReliabilityConfig):
+        timing.validate()
+        reliability.validate()
+        self.timing = timing
+        self.code = BCHCode(
+            payload_bytes=reliability.bch_codeword_bytes,
+            t=reliability.bch_t,
+        )
+        self._min = timing.ecc_min_ms
+        self._span = timing.ecc_max_ms - timing.ecc_min_ms
+        self._t = float(self.code.t)
+
+    def decode_ms(self, rber: float) -> float:
+        """Decode time for data read at uniform ``rber``."""
+        lam = self.code.expected_errors(rber)
+        frac = min(1.0, lam / self._t)
+        return self._min + self._span * frac
+
+    def decode_ms_for_subpages(self, rbers: "np.ndarray | list[float]") -> float:
+        """Decode time for one page read covering several subpages.
+
+        Codewords are decoded in a pipeline, so the slowest (highest-RBER)
+        subpage dominates the page's ECC latency.
+        """
+        arr = np.asarray(rbers, dtype=np.float64)
+        if arr.size == 0:
+            return self._min
+        return self.decode_ms(float(arr.max()))
+
+    def expected_raw_errors(self, rber: float, nbytes: int) -> float:
+        """Expected raw bit errors when reading ``nbytes`` at ``rber``."""
+        if nbytes < 0:
+            raise ValueError(f"negative read size {nbytes}")
+        return rber * nbytes * 8
+
+    def uncorrectable_probability(self, rber: float) -> float:
+        """Probability at least one codeword of a 4 KiB subpage fails."""
+        per_cw = self.code.failure_probability(rber)
+        ncw = self.code.codewords_for(4096)
+        return 1.0 - (1.0 - per_cw) ** ncw

@@ -1,0 +1,115 @@
+"""Raw bit error rate (RBER) model.
+
+The model has two ingredients:
+
+1. a **base curve** for conventionally-programmed cells that grows as a
+   power law of the block's P/E count (wear-out), anchored at the fresh
+   RBER and the measured reference point (2.8e-4 at 4000 P/E), and
+
+2. **program-disturb increments** added per partial-program pass: every
+   pass adds ``disturb_unit(pe)`` to the RBER of in-page cells that were
+   already programmed, and ``neighbor_disturb_ratio`` times that amount to
+   cells of the two adjacent pages.
+
+``disturb_unit`` is calibrated so that a subpage that suffered the full
+budget of partial passes (``max_page_programs - 1`` of them, i.e. the
+MGA-style fully-packed page) lands on the measured partial-programming
+curve (3.8e-4 at 4000 P/E).  The unit scales with the base curve, so the
+conventional/partial gap widens with wear exactly as Figure 2 shows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ReliabilityConfig
+from ..errors import ConfigError
+
+
+class RberModel:
+    """RBER as a function of wear, cell mode and disturb history."""
+
+    def __init__(self, config: ReliabilityConfig):
+        config.validate()
+        self.config = config
+        ref = float(config.reference_pe_cycles)
+        self._ref_pe = ref
+        self._fresh = config.rber_fresh
+        self._span = config.rber_conventional_ref - config.rber_fresh
+        self._alpha = config.pe_exponent
+        passes = max(1, config.max_page_programs - 1)
+        self._unit_ref = (config.rber_partial_ref - config.rber_conventional_ref) / passes
+        if self._unit_ref < 0:
+            raise ConfigError("partial RBER reference below conventional reference")
+
+    # -- base curves -----------------------------------------------------
+
+    def base(self, pe: float, slc: bool = True) -> float:
+        """Conventional-programming RBER at ``pe`` P/E cycles."""
+        if pe < 0:
+            raise ConfigError(f"negative P/E count {pe}")
+        value = self._fresh + self._span * (pe / self._ref_pe) ** self._alpha
+        if not slc:
+            value *= self.config.mlc_rber_factor
+        return value
+
+    def disturb_unit(self, pe: float) -> float:
+        """In-page disturb RBER increment of one partial-program pass.
+
+        Scales with the base curve so the conventional/partial gap grows
+        with wear (Section 2.2: "the bit error rate difference becomes
+        more pronounced as the P/E cycle is getting large").
+        """
+        ref_base = self.base(self._ref_pe, slc=True)
+        return self._unit_ref * (self.base(pe, slc=True) / ref_base)
+
+    def partial_typical(self, pe: float) -> float:
+        """RBER of a subpage that received the full partial-program budget.
+
+        This is the "partial programming" curve of Figure 2.
+        """
+        passes = max(1, self.config.max_page_programs - 1)
+        return self.base(pe, slc=True) + passes * self.disturb_unit(pe)
+
+    # -- per-subpage evaluation -------------------------------------------
+
+    def subpage_rber(self, pe: float, slc: bool, n_in: int = 0, n_nb: int = 0) -> float:
+        """RBER of one subpage given its disturb history.
+
+        Parameters
+        ----------
+        pe:
+            Effective P/E count of the hosting block
+            (``initial_pe_cycles + erase_count``).
+        slc:
+            Cell mode of the hosting block.
+        n_in, n_nb:
+            Counts of in-page and neighbouring-page disturb events the
+            subpage absorbed since it was programmed.
+        """
+        unit = self.disturb_unit(pe)
+        extra = n_in * unit + n_nb * unit * self.config.neighbor_disturb_ratio
+        return self.base(pe, slc) + extra
+
+    def subpage_rber_array(
+        self,
+        pe: float,
+        slc: bool,
+        n_in: np.ndarray,
+        n_nb: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised :meth:`subpage_rber` over disturb-count arrays."""
+        unit = self.disturb_unit(pe)
+        ratio = self.config.neighbor_disturb_ratio
+        return self.base(pe, slc) + unit * (
+            n_in.astype(np.float64) + ratio * n_nb.astype(np.float64)
+        )
+
+    # -- figure 2 helper ---------------------------------------------------
+
+    def curve(self, pe_values: "list[float] | np.ndarray") -> dict[str, np.ndarray]:
+        """Conventional and partial RBER curves over ``pe_values`` (Fig. 2)."""
+        pes = np.asarray(pe_values, dtype=np.float64)
+        conventional = np.array([self.base(p, slc=True) for p in pes])
+        partial = np.array([self.partial_typical(p) for p in pes])
+        return {"pe": pes, "conventional": conventional, "partial": partial}

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro SSD simulator.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type.  Subclasses distinguish configuration problems,
+physical-constraint violations of the NAND model, FTL-level inconsistencies,
+and simulation misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent configuration values."""
+
+
+class FlashError(ReproError):
+    """Violation of a NAND-flash physical constraint."""
+
+
+class ProgramOrderError(FlashError):
+    """Pages inside a block must be programmed in sequential order."""
+
+
+class PartialProgramLimitError(FlashError):
+    """A page exceeded the manufacturer limit of program operations."""
+
+
+class SubpageStateError(FlashError):
+    """A subpage operation conflicted with its current state."""
+
+
+class EraseError(FlashError):
+    """An erase was issued against a block in an invalid state."""
+
+
+class AllocationError(ReproError):
+    """The allocator could not satisfy a block or page request."""
+
+
+class OutOfSpaceError(AllocationError):
+    """The device ran out of free blocks even after garbage collection."""
+
+
+class MappingError(ReproError):
+    """Inconsistent state in a logical-to-physical mapping table."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace specification could not be interpreted."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation engine."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured or invoked incorrectly."""

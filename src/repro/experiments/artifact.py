@@ -1,0 +1,56 @@
+"""The result object every experiment produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..metrics.report import format_table
+
+
+@dataclass
+class Artifact:
+    """A regenerated table or figure: rows plus provenance."""
+
+    id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    #: Free-text commentary: paper-reported values, observed deviations.
+    notes: str = ""
+    #: Scale the rows were produced at.
+    scale: str = ""
+    #: Optional terminal chart (see :mod:`repro.metrics.charts`).
+    chart: str = ""
+
+    def render(self) -> str:
+        """Printable form: title, table, chart, notes."""
+        parts = [format_table(self.rows, title=f"[{self.id}] {self.title}"
+                                               + (f" (scale={self.scale})"
+                                                  if self.scale else ""))]
+        if self.chart:
+            parts.append("")
+            parts.append(self.chart.rstrip())
+        if self.notes:
+            parts.append(self.notes.rstrip())
+        return "\n".join(parts)
+
+    def column(self, key: str) -> list:
+        """Extract one column across rows (test helper)."""
+        return [row[key] for row in self.rows]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the chart is presentation-only and omitted)."""
+        return {
+            "id": self.id,
+            "title": self.title,
+            "scale": self.scale,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+
+    def save_json(self, path) -> None:
+        """Write the artifact as JSON for downstream plotting."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, default=str) + "\n")

@@ -1,0 +1,213 @@
+"""Extension experiments beyond the paper's figures.
+
+* ``ext-delta`` — adds the Delta comparator (Zhang et al., FAST'16, the
+  related work IPU builds on) to the scheme comparison: same page-per-
+  request layout and in-page appends as IPU, but without the
+  invalidate-first rule, so its partial passes disturb live data.
+* ``ext-translation`` — quantifies the address-translation latency the
+  paper's introduction attributes to second-level mapping tables, using
+  the DFTL-style cached-mapping-table model: MGA's two-level table misses
+  more than IPU's page-level-plus-offset table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..config import TranslationConfig
+from ..sim.simulator import Simulator
+from .artifact import Artifact
+from .runner import default_context
+
+#: Traces used by the extension studies (one write-hot, one read-hot).
+EXT_TRACES = ("ts0", "lun2")
+
+
+def build_delta_comparison(scale: str = "small", seed: int = 1) -> Artifact:
+    """Four-way comparison including the Delta scheme."""
+    from .. import SCHEMES
+    ctx = default_context(scale, seed)
+    rows = []
+    for trace in EXT_TRACES:
+        for scheme in ("baseline", "mga", "delta", "ipu"):
+            if scheme in ("baseline", "mga", "ipu"):
+                r = ctx.run(trace, scheme)
+            else:
+                ftl = SCHEMES["delta"](ctx.trace_config(trace))
+                r = Simulator(ftl).run(ctx.trace(trace))
+            rows.append({
+                "Trace": trace,
+                "Scheme": scheme,
+                "latency ms": f"{r.avg_latency_ms:.4f}",
+                "error rate": f"{r.read_error_rate:.4e}",
+                "GC util": f"{r.slc_page_utilization:.1%}",
+                "in-page svc": r.intra_page_updates,
+                "disturbed valid": r.disturbed_valid_subpages,
+            })
+    return Artifact(
+        id="ext-delta",
+        title="Related-work comparison including in-place delta compression",
+        rows=rows,
+        scale=scale,
+        notes=("Delta keeps updates in-page like IPU but without "
+               "invalidating first: its 'disturbed valid' column is the "
+               "in-page damage IPU provably avoids (IPU's is always 0)."),
+    )
+
+
+def build_seed_study(scale: str = "small", seed: int = 1) -> Artifact:
+    """Headline metrics across independent seeds (reproducibility check).
+
+    The paper reports single-run numbers; here the IPU-vs-Baseline latency
+    gain, the error-rate increases and the utilisation gaps are re-derived
+    under three different generator/device seeds to show they are
+    properties of the mechanisms, not of one lucky trace realisation.
+    """
+    from .runner import RunContext
+    rows = []
+    for s_ in (seed, seed + 1, seed + 2):
+        ctx = RunContext(scale=scale, seed=s_)
+        results = {scheme: ctx.run("ts0", scheme)
+                   for scheme in ("baseline", "mga", "ipu")}
+        base, mga, ipu = (results[k] for k in ("baseline", "mga", "ipu"))
+        rows.append({
+            "seed": s_,
+            "IPU vs Base lat": f"{ipu.avg_latency_ms / base.avg_latency_ms - 1:+.1%}",
+            "MGA err incr": f"{mga.read_error_rate / base.read_error_rate - 1:+.1%}",
+            "IPU err incr": f"{ipu.read_error_rate / base.read_error_rate - 1:+.1%}",
+            "util B/M/I": "/".join(
+                f"{r.slc_page_utilization:.0%}" for r in (base, mga, ipu)),
+            "SLC erases B/M/I": "/".join(
+                str(r.erases_slc) for r in (base, mga, ipu)),
+        })
+    return Artifact(
+        id="ext-seeds",
+        title="Headline shapes across independent seeds (ts0)",
+        rows=rows,
+        scale=scale,
+        notes=("Every row must show the same orderings: IPU faster than "
+               "Baseline, IPU's error increase a fraction of MGA's, "
+               "utilisation Baseline < IPU < MGA, erases MGA < IPU <= "
+               "Baseline."),
+    )
+
+
+def build_cache_sensitivity(scale: str = "small", seed: int = 1) -> Artifact:
+    """IPU behaviour versus SLC cache size (the Table 2 ratio is fixed at
+    5%; this sweeps the cache relative to the trace's hot set)."""
+    import dataclasses
+
+    from ..config import SSDConfig
+    from .runner import RunContext
+
+    ctx = RunContext(scale=scale, seed=seed)
+    base_cfg = ctx.trace_config("ts0")
+    trace = ctx.trace("ts0")
+    planes = base_cfg.geometry.planes
+    base_slc_pp = max(1, round(base_cfg.geometry.blocks_per_plane
+                               * base_cfg.cache.slc_ratio))
+    mlc_pp = base_cfg.geometry.blocks_per_plane - base_slc_pp
+
+    rows = []
+    for factor in (0.5, 1.0, 2.0):
+        slc_pp = max(1, round(base_slc_pp * factor))
+        bpp = slc_pp + mlc_pp
+        geometry = dataclasses.replace(
+            base_cfg.geometry, total_blocks=bpp * planes)
+        cache = dataclasses.replace(base_cfg.cache, slc_ratio=slc_pp / bpp)
+        cfg = SSDConfig(geometry=geometry, cache=cache,
+                        reliability=base_cfg.reliability,
+                        timing=base_cfg.timing).validate()
+        from .. import SCHEMES
+        ftl = SCHEMES["ipu"](cfg)
+        r = Simulator(ftl).run(trace)
+        rows.append({
+            "cache factor": f"{factor:.1f}x",
+            "SLC blocks": cfg.slc_blocks,
+            "latency ms": f"{r.avg_latency_ms:.4f}",
+            "intra-page": r.intra_page_updates,
+            "evicted": r.evicted_subpages_to_mlc,
+            "SLC erases": r.erases_slc,
+        })
+    return Artifact(
+        id="ext-cache",
+        title="IPU sensitivity to SLC cache size (ts0)",
+        rows=rows,
+        scale=scale,
+        notes=("A larger cache retains more of the hot set: intra-page "
+               "updates rise and evictions fall; shrinking it below the "
+               "hot set collapses the benefit toward Baseline behaviour."),
+    )
+
+
+def build_qd_study(scale: str = "small", seed: int = 1) -> Artifact:
+    """Closed-loop throughput versus queue depth per scheme."""
+    from .. import SCHEMES
+    ctx = default_context(scale, seed)
+    rows = []
+    trace = ctx.trace("ts0")
+    for qd in (1, 4, 16, 64):
+        for scheme in ("baseline", "mga", "ipu"):
+            ftl = SCHEMES[scheme](ctx.trace_config("ts0"))
+            result = Simulator(ftl).run_closed(trace, queue_depth=qd)
+            iops = (result.n_requests / result.sim_time_ms * 1e3
+                    if result.sim_time_ms else 0.0)
+            rows.append({
+                "QD": qd,
+                "Scheme": scheme,
+                "KIOPS": f"{iops / 1e3:.2f}",
+                "mean lat ms": f"{result.avg_latency_ms:.4f}",
+            })
+    return Artifact(
+        id="ext-qd",
+        title="Closed-loop throughput vs queue depth (ts0)",
+        rows=rows,
+        scale=scale,
+        notes=("Sustainable-rate view of the same comparison: throughput "
+               "saturates at the device's chip parallelism; the scheme "
+               "ordering matches the open-loop latency figures."),
+    )
+
+
+def build_translation_study(scale: str = "small", seed: int = 1) -> Artifact:
+    """CMT hit ratios and the latency cost of second-level translation."""
+    from .. import SCHEMES
+    ctx = default_context(scale, seed)
+    rows = []
+    for trace in EXT_TRACES:
+        base_cfg = ctx.trace_config(trace)
+        # Size the CMT to cover ~30% of the trace's first-level working
+        # set: page-mapped lookups mostly hit, while MGA's 4x-denser
+        # second-level key space cannot fit.
+        entries = 256
+        lpns = ctx.trace(trace).footprint_bytes // base_cfg.geometry.page_size
+        cache_pages = max(2, int(0.3 * lpns / entries))
+        for scheme in ("baseline", "mga", "ipu"):
+            cfg = dataclasses.replace(
+                base_cfg,
+                translation=TranslationConfig(
+                    enabled=True, entries_per_page=entries,
+                    cache_pages=cache_pages))
+            ftl = SCHEMES[scheme](cfg)
+            result = Simulator(ftl).run(ctx.trace(trace))
+            plain = ctx.run(trace, scheme)
+            rows.append({
+                "Trace": trace,
+                "Scheme": scheme,
+                "CMT hit ratio": f"{ftl.cmt.stats.hit_ratio:.1%}",
+                "misses": ftl.cmt.stats.misses,
+                "writebacks": ftl.cmt.stats.writebacks,
+                "latency ms": f"{result.avg_latency_ms:.4f}",
+                "vs no-CMT": (f"{result.avg_latency_ms / plain.avg_latency_ms - 1:+.1%}"
+                              if plain.avg_latency_ms else "-"),
+            })
+    return Artifact(
+        id="ext-translation",
+        title="Address-translation overhead under a cached mapping table",
+        rows=rows,
+        scale=scale,
+        notes=("Section 1's motivation quantified: MGA's second-level "
+               "subpage entries thrash the translation cache harder than "
+               "IPU's page-level table, costing extra foreground flash "
+               "reads."),
+    )

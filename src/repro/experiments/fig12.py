@@ -1,0 +1,47 @@
+"""Figure 12: computation overhead of GC victim selection.
+
+Paper: IPU's ISR policy costs only ~1.2% more scan time than the greedy
+policy, staying under 2.48 ms per search — feasible because the IS'
+coldness terms are stored per page (Section 4.4.1) rather than recomputed
+per scan; our :class:`~repro.ftl.victim.IsrVictimPolicy` mirrors that
+caching.  Absolute numbers here are Python wall time; the comparison (and
+the per-scan budget) is the reproducible quantity.
+"""
+
+from __future__ import annotations
+
+from ..traces.profiles import TRACE_NAMES
+from .artifact import Artifact
+from .runner import default_context
+
+
+def build(scale: str = "small", seed: int = 1) -> Artifact:
+    """Victim-selection wall time: Baseline's greedy vs IPU's ISR."""
+    ctx = default_context(scale, seed)
+    rows = []
+    for trace in TRACE_NAMES:
+        base = ctx.run(trace, "baseline")
+        ipu = ctx.run(trace, "ipu")
+        base_per = (base.gc_scan_seconds / base.gc_scans * 1e3
+                    if base.gc_scans else 0.0)
+        ipu_per = (ipu.gc_scan_seconds / ipu.gc_scans * 1e3
+                   if ipu.gc_scans else 0.0)
+        rows.append({
+            "Trace": trace,
+            "greedy scans": base.gc_scans,
+            "greedy ms/scan": f"{base_per:.4f}",
+            "ISR scans": ipu.gc_scans,
+            "ISR ms/scan": f"{ipu_per:.4f}",
+            "ISR/greedy": (f"{ipu_per / base_per:.2f}x"
+                           if base_per > 0 else "-"),
+        })
+    return Artifact(
+        id="fig12",
+        title="Computation overhead in GC processing",
+        rows=rows,
+        scale=scale,
+        notes=("Paper: ISR adds ~1.2% over greedy and needs <2.48 ms per "
+               "search.  Wall times here are interpreted-Python; the "
+               "comparison shape and the per-search budget are the "
+               "reproduction targets."),
+    )

@@ -1,0 +1,53 @@
+"""Figure 9: page utilisation of collected blocks in the SLC-mode cache.
+
+Paper averages: Baseline ~52.8% (fragmentation), MGA ~99.9% (full
+packing), IPU ~73.0% (free slots are deliberately reserved for intra-page
+updates, trading utilisation for disturb-free updates).
+"""
+
+from __future__ import annotations
+
+from ..traces.profiles import TRACE_NAMES
+from .artifact import Artifact
+from .runner import SCHEME_ORDER, default_context
+
+
+def build(scale: str = "small", seed: int = 1) -> Artifact:
+    """Used-subpage ratio of GC victim blocks per trace and scheme."""
+    ctx = default_context(scale, seed)
+    results = ctx.run_matrix()
+    rows = []
+    sums = {s: 0.0 for s in SCHEME_ORDER}
+    counts = {s: 0 for s in SCHEME_ORDER}
+    for trace in TRACE_NAMES:
+        row = {"Trace": trace}
+        for scheme in SCHEME_ORDER:
+            r = results[(trace, scheme)]
+            row[scheme] = f"{r.slc_page_utilization:.1%}"
+            if r.slc_gc_collections:
+                sums[scheme] += r.slc_page_utilization
+                counts[scheme] += 1
+        rows.append(row)
+    averages = {
+        s: (sums[s] / counts[s] if counts[s] else float("nan"))
+        for s in SCHEME_ORDER
+    }
+    from ..metrics.charts import grouped_bar_chart
+    chart = grouped_bar_chart(
+        {trace: {s: results[(trace, s)].slc_page_utilization
+                 for s in SCHEME_ORDER}
+         for trace in TRACE_NAMES},
+        title="Page utilisation of collected SLC blocks")
+    notes = (
+        f"Averages: baseline {averages['baseline']:.1%} (paper 52.8%), "
+        f"mga {averages['mga']:.1%} (paper 99.9%), "
+        f"ipu {averages['ipu']:.1%} (paper 73.0%)."
+    )
+    return Artifact(
+        id="fig9",
+        title="Page utilisation ratio of GC blocks in the SLC-mode cache",
+        rows=rows,
+        chart=chart,
+        scale=scale,
+        notes=notes,
+    )

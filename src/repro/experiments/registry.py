@@ -1,0 +1,50 @@
+"""Registry mapping experiment ids to their builders."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ExperimentError
+from .artifact import Artifact
+from . import (extensions, fig2, fig5, fig6, fig7, fig8, fig9, fig10,
+               fig11, fig12, summary, sweep, tables)
+
+#: id -> builder(scale, seed) -> Artifact
+EXPERIMENTS: dict[str, Callable[..., Artifact]] = {
+    "table1": tables.build_table1,
+    "table2": tables.build_table2,
+    "table3": tables.build_table3,
+    "fig2": fig2.build,
+    "fig5": fig5.build,
+    "fig6": fig6.build,
+    "fig7": fig7.build,
+    "fig8": fig8.build,
+    "fig9": fig9.build,
+    "fig10": fig10.build_slc,
+    "fig10b": fig10.build_mlc,
+    "fig11": fig11.build,
+    "fig12": fig12.build,
+    "fig13": sweep.build_latency,
+    "fig14": sweep.build_error_rate,
+    "ext-delta": extensions.build_delta_comparison,
+    "ext-translation": extensions.build_translation_study,
+    "ext-qd": extensions.build_qd_study,
+    "ext-seeds": extensions.build_seed_study,
+    "ext-cache": extensions.build_cache_sensitivity,
+    "summary": summary.build,
+}
+
+
+def get(experiment_id: str) -> Callable[..., Artifact]:
+    """Builder for ``experiment_id``."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(EXPERIMENTS)}") from None
+
+
+def run(experiment_id: str, scale: str = "small", seed: int = 1) -> Artifact:
+    """Run one experiment and return its artifact."""
+    return get(experiment_id)(scale=scale, seed=seed)

@@ -1,0 +1,239 @@
+"""Simulation orchestration for the experiment harnesses.
+
+A :class:`RunContext` fixes the scale and the seed.  For each trace it
+
+1. shrinks the trace to the scale's target request count,
+2. **sizes the device to the trace** the way the paper's full-scale setup
+   relates to the full traces: the SLC-mode cache comfortably holds the
+   trace's *hot* working set (that residency is the premise of any SLC
+   cache scheme — the paper's 3.4 GB cache dwarfs an MSR trace's hot set)
+   while the cold stream overflows it, and the high-density region is
+   sized tight against the written page footprint so eviction churn shows
+   up as MLC garbage collection,
+3. paces arrivals for a moderate device utilisation, so latency reflects
+   contention without saturating the open-loop queues,
+4. replays the trace against the requested scheme and memoises the
+   :class:`~repro.sim.simulator.SimulationResult`.
+
+At ``paper`` scale the device is the fixed Table 2 configuration (65536
+blocks, 5% SLC) and traces replay at full length instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from ..config import (
+    CacheConfig,
+    GeometryConfig,
+    SCALES,
+    SSDConfig,
+    ScaleSpec,
+    scaled_config,
+)
+from ..errors import ExperimentError
+from ..sim.simulator import SimulationResult, Simulator
+from ..traces.model import Trace
+from ..traces.profiles import TRACE_NAMES, TraceProfile, profile
+from ..traces.synth import SyntheticTraceGenerator
+
+#: SLC cache size over the trace's hot-set bytes.
+CACHE_OVER_HOTSET = 0.8
+#: High-density capacity over the trace's written page footprint.
+MLC_OVER_FOOTPRINT = 1.5
+#: Minimum SLC blocks per plane (three level actives need room to rotate).
+MIN_SLC_PER_PLANE = 1
+#: Minimum SLC blocks in total.
+MIN_SLC_BLOCKS = 20
+#: Minimum MLC blocks per plane.
+MIN_MLC_PER_PLANE = 4
+#: Target device utilisation for arrival pacing.
+TARGET_UTILIZATION = 0.18
+#: Effective per-subpage write cost (SLC program + eviction read +
+#: MLC program + amortised erase) used by the pacing estimate, in units
+#: of (slc_write + transfer).
+PACING_WRITE_AMP = 8.0
+#: Pilot request count used to measure per-request footprint statistics.
+PILOT_REQUESTS = 6_000
+
+#: Scheme names in the paper's presentation order.
+SCHEME_ORDER = ("baseline", "mga", "ipu")
+
+
+def estimate_interarrival_ms(prof: TraceProfile, config: SSDConfig,
+                             utilization: float = TARGET_UTILIZATION) -> float:
+    """Mean inter-arrival time giving roughly the target chip utilisation."""
+    t = config.timing
+    subpage = config.geometry.subpage_size
+    w_sub = max(1.0, prof.mean_write_bytes / subpage)
+    r_sub = max(1.0, min(w_sub, 4.0))
+    chip_ms_write = w_sub * (t.slc_write_ms + t.transfer_ms_per_subpage) * PACING_WRITE_AMP
+    chip_ms_read = r_sub * (t.mlc_read_ms + t.transfer_ms_per_subpage + 0.03)
+    per_req = prof.write_ratio * chip_ms_write + (1 - prof.write_ratio) * chip_ms_read
+    chips = config.geometry.chips
+    return max(0.02, per_req / (chips * utilization))
+
+
+@dataclass
+class RunContext:
+    """Scale + seed + memoised results for one experiment session."""
+
+    scale: str = "small"
+    seed: int = 1
+    #: Trace-length multiplier (the P/E sweep uses shorter runs).
+    length_factor: float = 1.0
+    _results: dict = field(default_factory=dict, repr=False)
+    _traces: dict = field(default_factory=dict, repr=False)
+    _configs: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def spec(self) -> ScaleSpec:
+        """The resolved scale preset."""
+        if self.scale not in SCALES:
+            raise ExperimentError(
+                f"unknown scale {self.scale!r}; available: {', '.join(SCALES)}")
+        return SCALES[self.scale]
+
+    def config(self, pe: int | None = None) -> SSDConfig:
+        """A generic scaled configuration (not tied to a trace)."""
+        cfg = scaled_config(self.spec, seed=self.seed)
+        if pe is not None:
+            cfg = cfg.with_pe_cycles(pe)
+        return cfg
+
+    # -- trace sizing -----------------------------------------------------
+
+    def trace_requests(self, trace_name: str) -> int:
+        """Request count for this scale (paper scale replays in full)."""
+        prof = profile(trace_name)
+        if self.scale == "paper":
+            n = min(prof.n_requests, self.spec.max_requests)
+        else:
+            n = self.spec.target_requests
+        n = int(n * self.length_factor)
+        return max(1_000, min(self.spec.max_requests, n))
+
+    def trace_config(self, trace_name: str, pe: int | None = None) -> SSDConfig:
+        """Device configuration sized for this trace (memoised).
+
+        SLC cache ~= ``CACHE_OVER_HOTSET`` x hot-set bytes; high-density
+        region ~= ``MLC_OVER_FOOTPRINT`` x written page footprint.  The
+        paper scale skips auto-sizing and uses Table 2 verbatim.
+        """
+        key = (trace_name, pe)
+        if key in self._configs:
+            return self._configs[key]
+        if self.scale == "paper":
+            cfg = self.config(pe)
+            self._configs[key] = cfg
+            return cfg
+
+        spec = self.spec
+        prof = profile(trace_name)
+        n = self.trace_requests(trace_name)
+        pilot_n = min(PILOT_REQUESTS, n)
+        gen = SyntheticTraceGenerator(prof, n_requests=pilot_n, seed=self.seed)
+        gen.generate()
+        ext = gen.extents
+        scale_factor = n / pilot_n
+
+        base = SSDConfig()
+        page_size = base.geometry.page_size
+        slc_block_bytes = base.geometry.slc_pages_per_block * page_size
+        mlc_block_bytes = base.geometry.mlc_pages_per_block * page_size
+        hotset_bytes = float(ext.sizes[ext.is_hot].sum()) * scale_factor
+        page_fp = ext.page_footprint_bytes(page_size) * scale_factor
+
+        planes = spec.channels * spec.chips_per_channel * spec.planes_per_chip
+        slc_per_plane = max(
+            MIN_SLC_PER_PLANE,
+            math.ceil(max(MIN_SLC_BLOCKS, CACHE_OVER_HOTSET * hotset_bytes
+                          / slc_block_bytes) / planes),
+        )
+        mlc_per_plane = max(
+            MIN_MLC_PER_PLANE,
+            math.ceil(MLC_OVER_FOOTPRINT * page_fp / mlc_block_bytes / planes),
+        )
+        blocks_per_plane = slc_per_plane + mlc_per_plane
+        geometry = GeometryConfig(
+            channels=spec.channels,
+            chips_per_channel=spec.chips_per_channel,
+            planes_per_chip=spec.planes_per_chip,
+            total_blocks=blocks_per_plane * planes,
+        )
+        cache = replace(CacheConfig(), slc_ratio=slc_per_plane / blocks_per_plane)
+        cfg = SSDConfig(geometry=geometry, cache=cache, seed=self.seed).validate()
+        if pe is not None:
+            cfg = cfg.with_pe_cycles(pe)
+        self._configs[key] = cfg
+        return cfg
+
+    def trace(self, trace_name: str) -> Trace:
+        """The (memoised) synthetic trace for this context."""
+        if trace_name not in self._traces:
+            prof = profile(trace_name)
+            cfg = self.trace_config(trace_name)
+            gen = SyntheticTraceGenerator(
+                prof,
+                n_requests=self.trace_requests(trace_name),
+                seed=self.seed,
+                mean_interarrival_ms=estimate_interarrival_ms(prof, cfg),
+            )
+            self._traces[trace_name] = gen.generate()
+        return self._traces[trace_name]
+
+    # -- simulation --------------------------------------------------------------
+
+    def run(self, trace_name: str, scheme: str, pe: int | None = None,
+            ) -> SimulationResult:
+        """Replay ``trace_name`` under ``scheme`` (memoised)."""
+        from .. import SCHEMES
+        if scheme not in SCHEMES:
+            raise ExperimentError(
+                f"unknown scheme {scheme!r}; available: {', '.join(SCHEMES)}")
+        key = (trace_name, scheme, pe)
+        if key not in self._results:
+            cfg = self.trace_config(trace_name, pe)
+            ftl = SCHEMES[scheme](cfg)
+            self._results[key] = Simulator(ftl).run(self.trace(trace_name))
+        return self._results[key]
+
+    def run_matrix(self, traces: "tuple[str, ...] | None" = None,
+                   schemes: "tuple[str, ...]" = SCHEME_ORDER,
+                   pe: int | None = None,
+                   ) -> dict[tuple[str, str], SimulationResult]:
+        """Replay every (trace, scheme) pair; returns results keyed by pair."""
+        names = traces if traces is not None else TRACE_NAMES
+        return {
+            (t, s): self.run(t, s, pe=pe)
+            for t in names
+            for s in schemes
+        }
+
+
+#: Default shared context: the benchmark suite regenerates every figure
+#: from one simulation sweep.
+_DEFAULT_CONTEXTS: dict[tuple[str, int], RunContext] = {}
+
+
+def default_context(scale: str = "small", seed: int = 1) -> RunContext:
+    """Process-wide memoised context per (scale, seed)."""
+    key = (scale, seed)
+    if key not in _DEFAULT_CONTEXTS:
+        _DEFAULT_CONTEXTS[key] = RunContext(scale=scale, seed=seed)
+    return _DEFAULT_CONTEXTS[key]
+
+
+def run_one(trace_name: str, scheme: str, scale: str = "small",
+            seed: int = 1, pe: int | None = None) -> SimulationResult:
+    """Convenience wrapper over the shared context."""
+    return default_context(scale, seed).run(trace_name, scheme, pe=pe)
+
+
+def run_matrix(scale: str = "small", seed: int = 1,
+               traces: "tuple[str, ...] | None" = None,
+               schemes: "tuple[str, ...]" = SCHEME_ORDER,
+               pe: int | None = None):
+    """Convenience wrapper over the shared context."""
+    return default_context(scale, seed).run_matrix(traces, schemes, pe=pe)

@@ -1,0 +1,38 @@
+"""FTL framework and the two comparison schemes.
+
+* :mod:`repro.ftl.base` — shared plumbing: read path, allocation, GC
+  wiring, statistics.
+* :mod:`repro.ftl.baseline` — *Baseline*: dynamic page-level mapping, no
+  partial programming (read-modify-write of whole pages).
+* :mod:`repro.ftl.mga` — *MGA* (Feng et al., DATE'17): subpage-granularity
+  two-level mapping; small writes from different requests are packed into
+  one SLC page with partial programming.
+
+The paper's own scheme lives in :mod:`repro.core`.
+"""
+
+from .mapping import PageMap, SubpageMap
+from .allocator import RegionAllocator
+from .hotcold import block_isr, coldness_weight
+from .victim import GreedyVictimPolicy, IsrVictimPolicy, VictimPolicy
+from .gc import GarbageCollector
+from .base import BaseFTL
+from .baseline import BaselineFTL
+from .mga import MGAFTL
+from .delta import DeltaFTL
+
+__all__ = [
+    "PageMap",
+    "SubpageMap",
+    "RegionAllocator",
+    "block_isr",
+    "coldness_weight",
+    "VictimPolicy",
+    "GreedyVictimPolicy",
+    "IsrVictimPolicy",
+    "GarbageCollector",
+    "BaseFTL",
+    "BaselineFTL",
+    "MGAFTL",
+    "DeltaFTL",
+]

@@ -1,0 +1,394 @@
+"""Shared FTL plumbing.
+
+:class:`BaseFTL` owns the flash array, the per-region allocators and
+garbage collectors, the ECC model, and implements everything the three
+schemes have in common: request dispatch, the read path (including *pseudo
+reads* of never-written data, assumed pre-existing in the high-density
+region), allocation helpers with GC fallback, and statistics.
+
+Subclasses implement::
+
+    lookup(lsn)                  logical subpage -> PPA or None
+    write(lsns, now)             the scheme's write path
+    _relocate_slc_page(...)      where SLC GC moves a page's valid data
+    _relocate_mlc_page(...)      where MLC GC moves a page's valid data
+    _make_slc_policy()           the SLC victim-selection policy
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from ..config import SSDConfig
+from ..error import EccModel
+from ..errors import OutOfSpaceError
+from ..nand.block import Block
+from ..nand.flash import FlashArray
+from ..nand.geometry import PPA
+from ..nand.wear import WearTracker
+from ..sim.ops import Cause, OpKind, OpRecord
+from .allocator import RegionAllocator
+from .gc import GarbageCollector
+from .levels import BlockLevel
+from .translation import CachedMappingTable
+from .victim import GreedyPageVictimPolicy, GreedyVictimPolicy, VictimPolicy
+
+#: Key-space offset separating second-level translation entries from the
+#: first-level (page map) entries in the cached mapping table.
+SECOND_LEVEL_KEY_BASE = 1 << 40
+
+
+@dataclass
+class FtlStats:
+    """Scheme-agnostic counters (drive Figures 5, 6, 7 and diagnostics)."""
+
+    host_write_requests: int = 0
+    host_read_requests: int = 0
+    host_written_subpages: int = 0
+    host_read_subpages: int = 0
+    host_programs_slc: int = 0
+    host_programs_mlc: int = 0
+    gc_programs_slc: int = 0
+    gc_programs_mlc: int = 0
+    host_subpages_slc: int = 0
+    host_subpages_mlc: int = 0
+    gc_subpages_slc: int = 0
+    gc_subpages_mlc: int = 0
+    #: Host write chunks landing at each block level (Figure 7).
+    level_writes: dict[int, int] = field(default_factory=dict)
+    intra_page_updates: int = 0
+    upgrade_moves: int = 0
+    new_data_writes: int = 0
+    update_writes: int = 0
+    rmw_read_ops: int = 0
+    pseudo_read_ops: int = 0
+    #: Host writes that had to land in the high-density region.
+    slc_overflow_chunks: int = 0
+    #: Subpages the SLC cache ejected into the high-density region
+    #: (Figure 6's "completed writes in MLC blocks" attributable to the
+    #: cache scheme, excluding MLC-internal GC churn).
+    evicted_subpages_to_mlc: int = 0
+
+    def note_level_write(self, level: int) -> None:
+        """Count one host write chunk completed at ``level``."""
+        self.level_writes[level] = self.level_writes.get(level, 0) + 1
+
+
+class BaseFTL(abc.ABC):
+    """Common machinery for the Baseline, MGA and IPU schemes."""
+
+    scheme_name: str = "base"
+    uses_partial_programming: bool = False
+
+    def __init__(self, config: SSDConfig, flash: FlashArray | None = None):
+        config.validate()
+        self.config = config
+        self.flash = flash if flash is not None else FlashArray(config)
+        self.geometry = self.flash.geometry
+        self.ecc = EccModel(config.timing, config.reliability)
+        self.rber = self.flash.rber
+        self.stats = FtlStats()
+
+        # The SLC region is small; cap its write striping so the open
+        # blocks per (level, stripe) don't consume the whole cache.
+        slc_stripes = max(1, min(4, len(self.flash.slc_block_ids) // 8))
+        self.slc_alloc = RegionAllocator(
+            self.flash, self.flash.slc_block_ids, "slc", max_stripes=slc_stripes)
+        self.mlc_alloc = RegionAllocator(self.flash, self.flash.mlc_block_ids, "mlc")
+        self.slc_wear = WearTracker(self.flash.region_blocks(True), config.cache)
+        self.mlc_wear = WearTracker(self.flash.region_blocks(False), config.cache)
+        self.slc_gc = GarbageCollector(
+            self.flash, self.slc_alloc, self._make_slc_policy(),
+            self._relocate_slc_page, self.ecc, config.cache, wear=self.slc_wear,
+        )
+        self.mlc_gc = GarbageCollector(
+            self.flash, self.mlc_alloc, self._make_mlc_policy(),
+            self._relocate_mlc_page, self.ecc, config.cache, wear=self.mlc_wear,
+        )
+
+        self._subpage_bits = self.geometry.subpage_size * 8
+        mlc_base = self.rber.base(config.reliability.initial_pe_cycles, slc=False)
+        self._pseudo_ecc_ms = self.ecc.decode_ms(mlc_base)
+        self._pseudo_rber = mlc_base
+        #: Optional DFTL-style cached mapping table (extension).
+        self.cmt = (CachedMappingTable(config.translation)
+                    if config.translation.enabled else None)
+
+    # -- scheme hooks -----------------------------------------------------
+
+    @abc.abstractmethod
+    def lookup(self, lsn: int) -> PPA | None:
+        """Current physical location of ``lsn`` (None if never written)."""
+
+    @abc.abstractmethod
+    def write(self, lsns: list[int], now: float) -> list[OpRecord]:
+        """Service a host write of the given logical subpages."""
+
+    @abc.abstractmethod
+    def _relocate_slc_page(self, victim: Block, page: int, slots: list[int],
+                           lsns: list[int], now: float, cause: Cause) -> list[OpRecord]:
+        """Move one SLC victim page's valid data (GC / wear levelling)."""
+
+    @abc.abstractmethod
+    def _relocate_mlc_page(self, victim: Block, page: int, slots: list[int],
+                           lsns: list[int], now: float, cause: Cause) -> list[OpRecord]:
+        """Move one MLC victim page's valid data (GC / wear levelling)."""
+
+    def _make_slc_policy(self) -> VictimPolicy:
+        """SLC GC victim policy; Baseline/MGA use greedy."""
+        return GreedyVictimPolicy()
+
+    def _make_mlc_policy(self) -> VictimPolicy:
+        """High-density GC victim policy.
+
+        Schemes whose GC moves pages one-to-one (no compaction across
+        pages) must count whole reclaimable pages, not subpages.
+        """
+        return GreedyPageVictimPolicy()
+
+    # -- request dispatch -----------------------------------------------------
+
+    def handle_write(self, lsns: list[int], now: float) -> list[OpRecord]:
+        """Write path, preceded by the (bounded) foreground GC check.
+
+        GC work runs ahead of the write on the same chips, so a request
+        that trips the threshold pays the blocking cost — and when bounded
+        GC cannot keep up, the write path spills to the high-density
+        region instead (the Figure 6 dynamic).
+        """
+        self.stats.host_write_requests += 1
+        self.stats.host_written_subpages += len(lsns)
+        ops = self._translate(lsns, write=True)
+        ops.extend(self.slc_gc.maybe_collect(now))
+        ops.extend(self.mlc_gc.maybe_collect(now))
+        ops.extend(self.write(lsns, now))
+        return ops
+
+    def handle_read(self, lsns: list[int], now: float) -> list[OpRecord]:
+        """Read path: mapped subpages from flash, the rest as pseudo reads.
+
+        GC also advances on read arrivals — a device collects in the
+        background regardless of request direction, and read-dominated
+        traces would otherwise starve the collector between rare writes.
+        """
+        self.stats.host_read_requests += 1
+        self.stats.host_read_subpages += len(lsns)
+        gc_ops = self._translate(lsns, write=False)
+        gc_ops.extend(self.slc_gc.maybe_collect(now))
+        gc_ops.extend(self.mlc_gc.maybe_collect(now))
+        groups: dict[tuple[int, int], list[int]] = {}
+        pseudo: list[int] = []
+        for lsn in lsns:
+            ppa = self.lookup(lsn)
+            if ppa is None:
+                pseudo.append(lsn)
+            else:
+                groups.setdefault((ppa.block, ppa.page), []).append(ppa.slot)
+
+        ops: list[OpRecord] = []
+        for (block_id, page), slots in groups.items():
+            slots.sort()
+            rbers = self.flash.read(block_id, page, slots, now)
+            block = self.flash.block(block_id)
+            ops.append(OpRecord(
+                kind=OpKind.READ, block_id=block_id, page=page,
+                n_slots=len(slots), is_slc=block.mode.is_slc, cause=Cause.HOST,
+                ecc_ms=self.ecc.decode_ms_for_subpages(rbers),
+                raw_errors=float(rbers.sum()) * self._subpage_bits,
+            ))
+        ops.extend(self._pseudo_reads(pseudo))
+        ops.extend(gc_ops)
+        return ops
+
+    def translation_keys(self, lsns: list[int]) -> list[int]:
+        """Cached-mapping-table keys a request touches.
+
+        Page-mapped schemes (Baseline, IPU) consult one first-level entry
+        per logical page; MGA additionally pages in its second-level
+        subpage entries (override).
+        """
+        spp = self.geometry.subpages_per_page
+        return sorted({lsn // spp for lsn in lsns})
+
+    def _translate(self, lsns: list[int], write: bool) -> list[OpRecord]:
+        """Charge cached-mapping-table misses as foreground flash ops."""
+        if self.cmt is None:
+            return []
+        ops: list[OpRecord] = []
+        spp = self.geometry.subpages_per_page
+        n_mlc = len(self.flash.mlc_block_ids)
+        for key in self.translation_keys(lsns):
+            miss, writeback = self.cmt.access(key, dirty=write)
+            if not miss and not writeback:
+                continue
+            block_id = self.flash.mlc_block_ids[
+                self.cmt.page_of(key) % n_mlc]
+            if writeback:
+                ops.append(OpRecord(
+                    kind=OpKind.PROGRAM, block_id=block_id, page=0,
+                    n_slots=spp, is_slc=False, cause=Cause.TRANSLATION))
+            if miss:
+                ops.append(OpRecord(
+                    kind=OpKind.READ, block_id=block_id, page=0,
+                    n_slots=spp, is_slc=False, cause=Cause.TRANSLATION,
+                    ecc_ms=self._pseudo_ecc_ms))
+        return ops
+
+    def _pseudo_reads(self, lsns: list[int]) -> list[OpRecord]:
+        """Reads of never-written data: priced as base-RBER MLC page reads.
+
+        The data is assumed to pre-exist in the high-density region; a
+        deterministic hash spreads the traffic over the MLC chips.
+        """
+        if not lsns:
+            return []
+        ops: list[OpRecord] = []
+        spp = self.geometry.subpages_per_page
+        by_lpn: dict[int, int] = {}
+        for lsn in lsns:
+            lpn = lsn // spp
+            by_lpn[lpn] = by_lpn.get(lpn, 0) + 1
+        for lpn, count in by_lpn.items():
+            block_id = self.flash.mlc_block_ids[lpn % len(self.flash.mlc_block_ids)]
+            ops.append(OpRecord(
+                kind=OpKind.READ, block_id=block_id, page=0,
+                n_slots=count, is_slc=False, cause=Cause.HOST,
+                ecc_ms=self._pseudo_ecc_ms,
+                raw_errors=self._pseudo_rber * count * self._subpage_bits,
+            ))
+            self.stats.pseudo_read_ops += 1
+        return ops
+
+    def idle_collect(self, now: float) -> list[OpRecord]:
+        """Drain pending GC work during host idle time.
+
+        Real devices collect in the background whenever the bus is quiet;
+        the simulator calls this when it detects an arrival gap, letting
+        the collectors run to their restore watermarks without a host
+        request footing the trigger.
+        """
+        ops: list[OpRecord] = []
+        for gc in (self.slc_gc, self.mlc_gc):
+            for _ in range(gc.allocator.total_blocks):
+                step = gc.maybe_collect(now)
+                if not step:
+                    break
+                ops.extend(step)
+        return ops
+
+    # -- allocation helpers -----------------------------------------------------
+
+    def alloc_slc_page(self, level: BlockLevel, now: float,
+                       ops: list[OpRecord] | None = None) -> tuple[Block, int] | None:
+        """SLC page at ``level``, or None when the cache has no room.
+
+        Deliberately does *not* collect garbage inline: foreground GC is
+        bounded and runs per request, so a dry pool means the cache is
+        under pressure and the write belongs in the high-density region.
+        The ``ops`` parameter is kept for signature stability.
+        """
+        return self.slc_alloc.alloc_page(int(level), now)
+
+    def alloc_mlc_page(self, now: float, ops: list[OpRecord] | None = None,
+                       required: bool = True,
+                       for_gc: bool = False) -> tuple[Block, int] | None:
+        """MLC page; escalates through emergency GC before giving up.
+
+        Host allocations respect the GC reserve; when even that fails the
+        region is force-collected in full (the host pays the blocking
+        cost, as on a real device running near-full).
+        """
+        level = int(BlockLevel.HIGH_DENSITY)
+        res = self.mlc_alloc.alloc_page(level, now, for_gc=for_gc)
+        if res is None:
+            emergency = self.mlc_gc.collect_emergency(now)
+            if ops is not None:
+                ops.extend(emergency)
+            res = self.mlc_alloc.alloc_page(level, now, for_gc=for_gc)
+        if res is None and not for_gc:
+            # Free blocks exist but sit in the GC reserve: drain one more
+            # victim so the host write can proceed.
+            emergency = self.mlc_gc.collect_emergency(now)
+            if ops is not None:
+                ops.extend(emergency)
+            res = self.mlc_alloc.alloc_page(level, now, for_gc=for_gc)
+            if res is None:
+                res = self.mlc_alloc.alloc_page(level, now, for_gc=True)
+        if res is None and required:
+            raise OutOfSpaceError(
+                f"{self.scheme_name}: high-density region exhausted")
+        return res
+
+    # -- programming helper ----------------------------------------------------
+
+    def program_subpages(self, block: Block, page: int, slots: list[int],
+                         lsns: list[int], now: float, cause: Cause) -> OpRecord:
+        """Program and account one flash program operation."""
+        self.flash.program(block.block_id, page, slots, lsns, now)
+        slc = block.mode.is_slc
+        if cause is Cause.HOST:
+            if slc:
+                self.stats.host_programs_slc += 1
+                self.stats.host_subpages_slc += len(slots)
+            else:
+                self.stats.host_programs_mlc += 1
+                self.stats.host_subpages_mlc += len(slots)
+        else:
+            if slc:
+                self.stats.gc_programs_slc += 1
+                self.stats.gc_subpages_slc += len(slots)
+            else:
+                self.stats.gc_programs_mlc += 1
+                self.stats.gc_subpages_mlc += len(slots)
+        # Without partial programming the whole page buffer is driven per
+        # program pass; partial programming masks untouched bit lines and
+        # transfers only the written subpages (Figure 1).
+        transfer = (len(slots) if self.uses_partial_programming
+                    else self.geometry.subpages_per_page)
+        return OpRecord(
+            kind=OpKind.PROGRAM, block_id=block.block_id, page=page,
+            n_slots=len(slots), is_slc=slc, cause=cause,
+            transfer_slots=transfer,
+        )
+
+    # -- shared chunking -----------------------------------------------------------
+
+    def chunks_by_lpn(self, lsns: list[int]) -> list[list[int]]:
+        """Split a request's subpages into per-logical-page chunks.
+
+        Chunking is stable across rewrites of the same extent, which is
+        what lets IPU find all of a chunk's old data in a single physical
+        page.
+        """
+        spp = self.geometry.subpages_per_page
+        chunks: list[list[int]] = []
+        current: list[int] = []
+        for lsn in lsns:
+            if current and lsn // spp != current[0] // spp:
+                chunks.append(current)
+                current = []
+            current.append(lsn)
+        if current:
+            chunks.append(current)
+        return chunks
+
+    # -- invariants (test support) ----------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Assert map <-> flash agreement for every binding (test hook)."""
+        for lsn, ppa in self.iter_bindings():
+            block = self.flash.block(ppa.block)
+            if not block.valid[ppa.page, ppa.slot]:
+                raise AssertionError(
+                    f"{self.scheme_name}: LSN {lsn} maps to invalid "
+                    f"subpage {ppa}")
+            stored = int(block.slot_lsn[ppa.page, ppa.slot])
+            if stored != lsn:
+                raise AssertionError(
+                    f"{self.scheme_name}: LSN {lsn} maps to {ppa} which "
+                    f"stores LSN {stored}")
+
+    @abc.abstractmethod
+    def iter_bindings(self):
+        """Yield ``(lsn, PPA)`` for every live logical subpage."""

@@ -1,0 +1,86 @@
+"""Logical-to-physical mapping tables.
+
+Two granularities are provided:
+
+* :class:`PageMap` — LPN -> (block, page), the classic dynamic page-level
+  table the *Baseline* scheme uses (subpages sit positionally inside the
+  page: logical subpage ``k`` of the LPN occupies slot ``k``),
+* :class:`SubpageMap` — LSN -> (block, page, slot), the second-level table
+  partial-programming schemes need (MGA's packing, IPU's intra-page
+  offsets).
+
+Both structures count their own entries so the memory-overhead experiment
+(Figure 11) can be driven by real occupancy; the byte-cost *model* per
+scheme lives in :mod:`repro.metrics.memory`.
+"""
+
+from __future__ import annotations
+
+from ..errors import MappingError
+from ..nand.geometry import PPA
+
+
+class PageMap:
+    """Dynamic page-level mapping: LPN -> (block, page)."""
+
+    def __init__(self):
+        self._map: dict[int, tuple[int, int]] = {}
+
+    def lookup(self, lpn: int) -> tuple[int, int] | None:
+        """Physical page of ``lpn``, or None if unmapped."""
+        return self._map.get(lpn)
+
+    def bind(self, lpn: int, block: int, page: int) -> None:
+        """Map ``lpn`` to a physical page (replacing any previous binding)."""
+        if lpn < 0:
+            raise MappingError(f"negative LPN {lpn}")
+        self._map[lpn] = (block, page)
+
+    def unbind(self, lpn: int) -> None:
+        """Drop the binding of ``lpn``."""
+        if lpn not in self._map:
+            raise MappingError(f"LPN {lpn} not mapped")
+        del self._map[lpn]
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self._map
+
+    def items(self):
+        """Iterate ``(lpn, (block, page))`` bindings."""
+        return self._map.items()
+
+
+class SubpageMap:
+    """Subpage-level mapping: LSN -> :class:`PPA`."""
+
+    def __init__(self):
+        self._map: dict[int, PPA] = {}
+
+    def lookup(self, lsn: int) -> PPA | None:
+        """Physical subpage of ``lsn``, or None if unmapped."""
+        return self._map.get(lsn)
+
+    def bind(self, lsn: int, ppa: PPA) -> None:
+        """Map ``lsn`` to a physical subpage."""
+        if lsn < 0:
+            raise MappingError(f"negative LSN {lsn}")
+        self._map[lsn] = ppa
+
+    def unbind(self, lsn: int) -> None:
+        """Drop the binding of ``lsn``."""
+        if lsn not in self._map:
+            raise MappingError(f"LSN {lsn} not mapped")
+        del self._map[lsn]
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, lsn: int) -> bool:
+        return lsn in self._map
+
+    def items(self):
+        """Iterate ``(lsn, ppa)`` bindings."""
+        return self._map.items()

@@ -1,0 +1,34 @@
+"""Metric models and reporting helpers.
+
+Most runtime counters live with the components that produce them (the
+flash array, the FTL stats, the GC stats); this package adds the analytic
+models the paper reports on top — mapping-table memory (Figure 11) — plus
+latency-distribution helpers and plain-text table rendering used by the
+experiment harnesses and the CLI.
+"""
+
+from .memory import MappingBreakdown, mapping_breakdown
+from .latency import latency_distribution, percentile_summary
+from .report import format_table, format_comparison
+from .charts import (
+    bar_chart,
+    distribution_chart,
+    grouped_bar_chart,
+    line_chart,
+)
+from .timeline import TimelineRecorder, TimelineSample
+
+__all__ = [
+    "MappingBreakdown",
+    "mapping_breakdown",
+    "latency_distribution",
+    "percentile_summary",
+    "format_table",
+    "format_comparison",
+    "bar_chart",
+    "grouped_bar_chart",
+    "line_chart",
+    "distribution_chart",
+    "TimelineRecorder",
+    "TimelineSample",
+]

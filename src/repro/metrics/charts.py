@@ -1,0 +1,178 @@
+"""Terminal (ASCII) chart rendering.
+
+The execution environment has no display and no plotting stack, so the
+figure harnesses render their series as Unicode bar and line charts —
+enough to eyeball the shapes the paper's figures show (who wins, by
+roughly what factor, where the trend bends).
+
+Charts are pure functions from data to a string, with no dependencies
+beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Fractional horizontal bar glyphs (1/8 .. 8/8).
+_BAR_GLYPHS = " ▏▎▍▌▋▊▉█"
+#: Default drawing width for bar values, in character cells.
+DEFAULT_WIDTH = 40
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    """Render one horizontal bar scaled to ``vmax`` over ``width`` cells."""
+    if vmax <= 0 or value <= 0:
+        return ""
+    cells = value / vmax * width
+    full = int(cells)
+    frac = int(round((cells - full) * 8))
+    if frac == 8:
+        full, frac = full + 1, 0
+    return "█" * full + (_BAR_GLYPHS[frac] if frac else "")
+
+
+def _fmt_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) < 1e-2 or abs(value) >= 1e5:
+        return f"{value:.2e}"
+    return f"{value:,.3g}"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str | None = None,
+    width: int = DEFAULT_WIDTH,
+) -> str:
+    """A labelled horizontal bar chart.
+
+    >>> print(bar_chart({"baseline": 4.0, "ipu": 3.0}))  # doctest: +SKIP
+    """
+    if not values:
+        return f"{title}\n(no data)" if title else "(no data)"
+    vmax = max(values.values())
+    label_w = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        lines.append(
+            f"{str(key).ljust(label_w)} |{_bar(value, vmax, width).ljust(width)}"
+            f"| {_fmt_value(value)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str | None = None,
+    width: int = DEFAULT_WIDTH,
+) -> str:
+    """Bars grouped by an outer key (e.g. trace -> scheme -> value).
+
+    All bars share one scale so cross-group comparison is honest.
+    """
+    if not groups:
+        return f"{title}\n(no data)" if title else "(no data)"
+    vmax = max((v for g in groups.values() for v in g.values()), default=0.0)
+    inner_w = max((len(str(k)) for g in groups.values() for k in g), default=1)
+    lines = [title] if title else []
+    for group, values in groups.items():
+        lines.append(f"{group}")
+        for key, value in values.items():
+            lines.append(
+                f"  {str(key).ljust(inner_w)} |"
+                f"{_bar(value, vmax, width).ljust(width)}| {_fmt_value(value)}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[object] | None = None,
+    title: str | None = None,
+    height: int = 10,
+    width: int = 60,
+    log_y: bool = False,
+) -> str:
+    """A multi-series line chart on a character grid.
+
+    Each series gets a marker (its name's first letter); overlapping
+    points show ``*``.  With ``log_y`` the vertical axis is logarithmic —
+    useful for the RBER curves, which span decades.
+    """
+    if not series:
+        return f"{title}\n(no data)" if title else "(no data)"
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    npoints = lengths.pop()
+    if npoints == 0:
+        return f"{title}\n(no data)" if title else "(no data)"
+
+    def transform(value: float) -> float:
+        if not log_y:
+            return value
+        return math.log10(max(value, 1e-300))
+
+    all_values = [transform(v) for vs in series.values() for v in vs]
+    vmin, vmax = min(all_values), max(all_values)
+    if vmax == vmin:
+        vmax = vmin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = {}
+    for name in series:
+        marker = str(name)[0]
+        while marker in markers.values():
+            marker = chr(ord(marker) + 1)
+        markers[name] = marker
+
+    for name, values in series.items():
+        for i, value in enumerate(values):
+            x = int(i / max(1, npoints - 1) * (width - 1))
+            yfrac = (transform(value) - vmin) / (vmax - vmin)
+            y = height - 1 - int(round(yfrac * (height - 1)))
+            cell = grid[y][x]
+            grid[y][x] = markers[name] if cell == " " else "*"
+
+    top = _fmt_value(10 ** vmax if log_y else vmax)
+    bottom = _fmt_value(10 ** vmin if log_y else vmin)
+    gutter = max(len(top), len(bottom))
+    lines = [title] if title else []
+    for row_idx, row in enumerate(grid):
+        label = top if row_idx == 0 else (bottom if row_idx == height - 1 else "")
+        lines.append(f"{label.rjust(gutter)} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    if x_labels is not None and len(x_labels) >= 2:
+        axis = f"{x_labels[0]}".ljust(width - len(str(x_labels[-1]))) + f"{x_labels[-1]}"
+        lines.append(" " * gutter + "  " + axis[:width])
+    legend = "   ".join(f"{m}={n}" for n, m in markers.items())
+    lines.append(" " * gutter + "  " + legend)
+    return "\n".join(lines)
+
+
+def distribution_chart(
+    bands: Mapping[str, Mapping[str, float]],
+    title: str | None = None,
+    width: int = DEFAULT_WIDTH,
+) -> str:
+    """Stacked-share rendering of latency-band distributions (Figure 5's
+    visual form): one row per scheme, cells proportional to band share."""
+    if not bands:
+        return f"{title}\n(no data)" if title else "(no data)"
+    fills = "░▒▓█▚"
+    band_names: list[str] = []
+    for shares in bands.values():
+        for band in shares:
+            if band not in band_names:
+                band_names.append(band)
+    label_w = max(len(str(k)) for k in bands)
+    lines = [title] if title else []
+    for key, shares in bands.items():
+        row = ""
+        for i, band in enumerate(band_names):
+            cells = int(round(shares.get(band, 0.0) * width))
+            row += fills[i % len(fills)] * cells
+        lines.append(f"{str(key).ljust(label_w)} |{row[:width].ljust(width)}|")
+    legend = "   ".join(
+        f"{fills[i % len(fills)]}={band}" for i, band in enumerate(band_names))
+    lines.append(" " * label_w + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Latency-distribution helpers (Figure 5 reports distributions)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def percentile_summary(latencies_ms: np.ndarray) -> dict[str, float]:
+    """Mean and standard percentiles of a latency sample."""
+    arr = np.asarray(latencies_ms, dtype=np.float64)
+    if arr.size == 0:
+        return {"mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }
+
+
+def latency_distribution(
+    latencies_ms: np.ndarray,
+    edges_ms: "list[float] | None" = None,
+) -> dict[str, float]:
+    """Share of requests in each latency band.
+
+    Default bands resemble the paper's Figure 5 stacked distribution:
+    sub-0.1 ms, 0.1-0.5 ms, 0.5-1 ms, 1-5 ms, 5+ ms.
+    """
+    arr = np.asarray(latencies_ms, dtype=np.float64)
+    if edges_ms is None:
+        edges_ms = [0.1, 0.5, 1.0, 5.0]
+    if sorted(edges_ms) != list(edges_ms):
+        raise ValueError("band edges must be ascending")
+    if arr.size == 0:
+        labels = _band_labels(edges_ms)
+        return {label: 0.0 for label in labels}
+    counts, _ = np.histogram(arr, bins=[0.0, *edges_ms, np.inf])
+    shares = counts / arr.size
+    return dict(zip(_band_labels(edges_ms), shares.tolist()))
+
+
+def _band_labels(edges_ms: list[float]) -> list[str]:
+    labels = [f"<{edges_ms[0]}ms"]
+    labels += [f"{lo}-{hi}ms" for lo, hi in zip(edges_ms[:-1], edges_ms[1:])]
+    labels.append(f">={edges_ms[-1]}ms")
+    return labels

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harnesses print the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 1e-2:
+            return f"{value:.3e}"
+        return f"{value:,.4g}" if abs(value) >= 1000 else f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Render dict-rows as an aligned text table (first row fixes columns)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    values: Mapping[str, float],
+    reference: str,
+    label: str = "value",
+) -> str:
+    """Render scheme -> value with percentage deltas versus ``reference``."""
+    if reference not in values:
+        raise KeyError(f"reference {reference!r} missing from {list(values)}")
+    ref = values[reference]
+    rows = []
+    for name, value in values.items():
+        delta = "" if name == reference or ref == 0 else (
+            f"{(value - ref) / ref:+.1%} vs {reference}")
+        rows.append({"scheme": name, label: value, "delta": delta})
+    return format_table(rows)

@@ -1,0 +1,102 @@
+"""Time-series sampling of a running simulation.
+
+A :class:`TimelineRecorder` attaches to :class:`~repro.sim.simulator.Simulator`
+and snapshots the device every ``sample_every`` requests: free-pool
+headroom, per-level cache composition, cumulative erases and the paper's
+mechanism counters.  The samples expose the cache dynamics the figures
+only show in aggregate — when GC starts, how the Work/Monitor/Hot split
+builds up, how eviction pressure breathes with the workload's locality
+windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ftl.levels import SLC_LEVELS
+from .charts import line_chart
+
+
+@dataclass
+class TimelineSample:
+    """One snapshot."""
+
+    request_index: int
+    now_ms: float
+    slc_free_fraction: float
+    erases_slc: int
+    erases_mlc: int
+    intra_page_updates: int
+    evicted_subpages: int
+    valid_by_level: dict[int, int] = field(default_factory=dict)
+
+
+class TimelineRecorder:
+    """Samples an FTL's state as the simulator replays a trace."""
+
+    def __init__(self, ftl, sample_every: int = 500):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.ftl = ftl
+        self.sample_every = sample_every
+        self.samples: list[TimelineSample] = []
+
+    def __call__(self, request_index: int, now_ms: float) -> None:
+        """Simulator callback; samples on the configured stride."""
+        if request_index % self.sample_every:
+            return
+        ftl = self.ftl
+        valid_by_level: dict[int, int] = {int(l): 0 for l in SLC_LEVELS}
+        for block in ftl.flash.region_blocks(True):
+            if block.level is not None and block.level in valid_by_level:
+                valid_by_level[block.level] += block.n_valid
+        self.samples.append(TimelineSample(
+            request_index=request_index,
+            now_ms=now_ms,
+            slc_free_fraction=ftl.slc_alloc.free_fraction,
+            erases_slc=ftl.flash.erases_slc,
+            erases_mlc=ftl.flash.erases_mlc,
+            intra_page_updates=ftl.stats.intra_page_updates,
+            evicted_subpages=ftl.stats.evicted_subpages_to_mlc,
+            valid_by_level=valid_by_level,
+        ))
+
+    # -- series extraction ------------------------------------------------
+
+    def series(self, name: str) -> list[float]:
+        """A named series over the samples.
+
+        Names: ``free_fraction``, ``erases_slc``, ``erases_mlc``,
+        ``intra_page_updates``, ``evicted_subpages``, or ``level:<n>``.
+        """
+        if name.startswith("level:"):
+            level = int(name.split(":", 1)[1])
+            return [float(s.valid_by_level.get(level, 0)) for s in self.samples]
+        attrs = {
+            "free_fraction": "slc_free_fraction",
+            "erases_slc": "erases_slc",
+            "erases_mlc": "erases_mlc",
+            "intra_page_updates": "intra_page_updates",
+            "evicted_subpages": "evicted_subpages",
+        }
+        if name not in attrs:
+            raise KeyError(f"unknown series {name!r}; options: "
+                           f"{sorted(attrs) + ['level:<n>']}")
+        return [float(getattr(s, attrs[name])) for s in self.samples]
+
+    def render(self, height: int = 8, width: int = 64) -> str:
+        """Two stacked charts: cache headroom and level composition."""
+        if not self.samples:
+            return "(no samples)"
+        x = [s.request_index for s in self.samples]
+        headroom = line_chart(
+            {"free": self.series("free_fraction")},
+            x_labels=[x[0], x[-1]], height=height, width=width,
+            title="SLC free-pool fraction over the trace")
+        levels = line_chart(
+            {"Work": self.series("level:1"),
+             "Monitor": self.series("level:2"),
+             "Hot": self.series("level:3")},
+            x_labels=[x[0], x[-1]], height=height, width=width,
+            title="Valid subpages resident per level")
+        return headroom + "\n\n" + levels

@@ -1,0 +1,25 @@
+"""NAND flash array substrate.
+
+Models the physical hierarchy (channel / chip / plane / block / page /
+subpage), SLC-mode versus native MLC blocks, sequential page programming,
+**partial programming** of SLC-mode pages (up to the manufacturer limit),
+program-disturb bookkeeping (in-page and neighbouring-page), per-block P/E
+wear, and erase.
+"""
+
+from .cell import CellMode
+from .geometry import Geometry, PPA
+from .block import Block, BlockState
+from .flash import FlashArray, ProgramResult
+from .wear import WearTracker
+
+__all__ = [
+    "CellMode",
+    "Geometry",
+    "PPA",
+    "Block",
+    "BlockState",
+    "FlashArray",
+    "ProgramResult",
+    "WearTracker",
+]

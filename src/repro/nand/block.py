@@ -1,0 +1,306 @@
+"""Per-block state: page/subpage occupancy, wear, disturb counters.
+
+A block is the erase unit.  Pages inside a block must be programmed in
+sequential order (``next_page`` pointer), as real NAND requires.  Each
+16 KiB page holds four 4 KiB *subpage slots*; SLC-mode pages may be
+programmed multiple times ("partial programming"), filling previously
+unwritten slots, up to a manufacturer limit on program passes.
+
+Subpage taxonomy used throughout:
+
+* **valid** - programmed and holding live data,
+* **invalid** - programmed, later invalidated by an update or move,
+* **free** - never programmed since the last erase.  In a fully-programmed
+  Baseline block free slots are wasted space (internal fragmentation); in an
+  IPU block they are the landing zone for intra-page updates.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..errors import (
+    EraseError,
+    PartialProgramLimitError,
+    ProgramOrderError,
+    SubpageStateError,
+)
+from .cell import CellMode
+
+#: Sentinel stored in ``slot_lsn`` for a slot that never held data.
+NO_LSN: int = -1
+
+
+class BlockState(enum.Enum):
+    """Lifecycle of a block between erases."""
+
+    FREE = "free"        #: erased, not yet allocated
+    OPEN = "open"        #: allocated, accepting new pages
+    FULL = "full"        #: every page programmed at least once
+    VICTIM = "victim"    #: selected for GC, being drained
+
+
+class Block:
+    """State of one physical block.
+
+    Disturb and access-time arrays are only allocated for SLC-mode blocks;
+    native MLC blocks are always conventionally programmed exactly once per
+    page, so their reliability is captured by the base RBER curve alone.
+    """
+
+    __slots__ = (
+        "block_id", "mode", "pages", "spp", "erase_count", "next_page",
+        "state", "level", "programmed", "valid", "program_count",
+        "slot_lsn", "slot_time", "slot_program_time", "disturb_in",
+        "disturb_nb", "page_updated",
+        "n_valid", "n_invalid", "n_programmed", "alloc_time", "content_epoch",
+        "read_count",
+    )
+
+    def __init__(self, block_id: int, mode: CellMode, pages: int, subpages_per_page: int):
+        self.block_id = block_id
+        self.mode = mode
+        self.pages = pages
+        self.spp = subpages_per_page
+        self.erase_count = 0
+        self.next_page = 0
+        self.state = BlockState.FREE
+        #: Block-level label (see :mod:`repro.core.levels`); ``None`` when free.
+        self.level: int | None = None
+        self.alloc_time = 0.0
+
+        self.programmed = np.zeros((pages, subpages_per_page), dtype=bool)
+        self.valid = np.zeros((pages, subpages_per_page), dtype=bool)
+        self.program_count = np.zeros(pages, dtype=np.uint8)
+        self.slot_lsn = np.full((pages, subpages_per_page), NO_LSN, dtype=np.int64)
+        if mode.is_slc:
+            self.slot_time = np.zeros((pages, subpages_per_page), dtype=np.float64)
+            #: Program time, never refreshed by reads (retention ages from
+            #: here; ``slot_time`` is the last *access* Equation 2 uses).
+            self.slot_program_time = np.zeros((pages, subpages_per_page),
+                                              dtype=np.float64)
+            self.disturb_in = np.zeros((pages, subpages_per_page), dtype=np.uint32)
+            self.disturb_nb = np.zeros((pages, subpages_per_page), dtype=np.uint32)
+            self.page_updated = np.zeros(pages, dtype=bool)
+        else:
+            self.slot_time = None
+            self.slot_program_time = None
+            self.disturb_in = None
+            self.disturb_nb = None
+            self.page_updated = None
+
+        self.n_valid = 0
+        self.n_invalid = 0
+        self.n_programmed = 0
+        #: Bumped on every content mutation; lets the stored-IS' cache of
+        #: the ISR policy detect staleness cheaply.
+        self.content_epoch = 0
+        #: Reads served by this block since its last erase (read disturb).
+        self.read_count = 0
+
+    # -- capacity queries ----------------------------------------------
+
+    @property
+    def total_subpages(self) -> int:
+        """``TS_i`` of Equation 1."""
+        return self.pages * self.spp
+
+    @property
+    def is_full(self) -> bool:
+        """True once every page received its initial program pass."""
+        return self.next_page >= self.pages
+
+    @property
+    def reclaimable_subpages(self) -> int:
+        """Subpages freed by collecting this block (everything non-valid)."""
+        return self.total_subpages - self.n_valid
+
+    def free_slots_of_page(self, page: int) -> list[int]:
+        """Unprogrammed slot indices of ``page`` (ascending)."""
+        row = self.programmed[page]
+        return [s for s in range(self.spp) if not row[s]]
+
+    def valid_slots_of_page(self, page: int) -> list[int]:
+        """Slot indices of ``page`` currently holding live data."""
+        row = self.valid[page]
+        return [s for s in range(self.spp) if row[s]]
+
+    def can_partial_program(self, page: int, nslots: int, max_programs: int) -> bool:
+        """Whether ``nslots`` more subpages fit into ``page`` in one more pass."""
+        if not 0 <= page < self.next_page:
+            return False
+        if self.program_count[page] >= max_programs:
+            return False
+        return int((~self.programmed[page]).sum()) >= nslots
+
+    # -- mutation -------------------------------------------------------
+
+    def program(self, page: int, slots: list[int], lsns: list[int], now: float,
+                max_programs: int) -> bool:
+        """Program ``lsns`` into ``slots`` of ``page``; return True if the
+        pass was a *partial* program of an already-programmed page.
+
+        Raises on out-of-order initial programs, slot reuse, or exceeding
+        the per-page program-pass limit.
+        """
+        if len(slots) != len(lsns) or not slots:
+            raise SubpageStateError(
+                f"block {self.block_id}: slots/lsns mismatch ({slots} vs {lsns})")
+        if len(set(slots)) != len(slots):
+            raise SubpageStateError(f"block {self.block_id}: duplicate slots {slots}")
+        if self.state not in (BlockState.OPEN, BlockState.FULL):
+            raise SubpageStateError(
+                f"block {self.block_id}: program while {self.state.value}")
+
+        if page == self.next_page:
+            partial = False
+            self.next_page += 1
+        elif 0 <= page < self.next_page:
+            partial = True
+            if not self.mode.is_slc:
+                raise SubpageStateError(
+                    f"block {self.block_id}: partial programming requires SLC mode")
+            if self.program_count[page] >= max_programs:
+                raise PartialProgramLimitError(
+                    f"block {self.block_id} page {page}: "
+                    f"{self.program_count[page]} passes >= limit {max_programs}")
+        else:
+            raise ProgramOrderError(
+                f"block {self.block_id}: page {page} programmed out of order "
+                f"(next free page is {self.next_page})")
+
+        row = self.programmed[page]
+        for slot in slots:
+            if not 0 <= slot < self.spp:
+                raise SubpageStateError(f"slot {slot} out of range [0, {self.spp})")
+            if row[slot]:
+                raise SubpageStateError(
+                    f"block {self.block_id} page {page} slot {slot}: already programmed")
+
+        for slot, lsn in zip(slots, lsns):
+            row[slot] = True
+            self.valid[page, slot] = True
+            self.slot_lsn[page, slot] = lsn
+            if self.mode.is_slc:
+                self.slot_time[page, slot] = now
+                self.slot_program_time[page, slot] = now
+        self.program_count[page] += 1
+        self.n_programmed += len(slots)
+        self.n_valid += len(slots)
+        if self.is_full and self.state is BlockState.OPEN:
+            self.state = BlockState.FULL
+        self.content_epoch += 1
+        return partial
+
+    def reprogram_pass(self, page: int, max_programs: int) -> int:
+        """A partial-program pass that appends bytes inside slots that are
+        already programmed (byte-granular partial programming, as in
+        in-place delta compression).  No slot state changes, but the pass
+        counts against the manufacturer limit and disturbs the page and
+        its neighbours like any other pass.  Returns the number of valid
+        in-page subpages disturbed."""
+        if not self.mode.is_slc:
+            raise SubpageStateError(
+                f"block {self.block_id}: partial programming requires SLC mode")
+        if not 0 <= page < self.next_page:
+            raise ProgramOrderError(
+                f"block {self.block_id}: reprogram of unwritten page {page}")
+        if self.program_count[page] >= max_programs:
+            raise PartialProgramLimitError(
+                f"block {self.block_id} page {page}: "
+                f"{self.program_count[page]} passes >= limit {max_programs}")
+        self.program_count[page] += 1
+        self.content_epoch += 1
+        return self.add_disturb(page, [])
+
+    def invalidate(self, page: int, slot: int) -> None:
+        """Mark one live subpage obsolete."""
+        if not self.valid[page, slot]:
+            raise SubpageStateError(
+                f"block {self.block_id} page {page} slot {slot}: not valid")
+        self.valid[page, slot] = False
+        self.n_valid -= 1
+        self.n_invalid += 1
+        self.content_epoch += 1
+
+    def mark_page_updated(self, page: int) -> None:
+        """Record that the data resident in ``page`` was updated while the
+        page lived in this block (drives IPU's GC-time hot/cold split)."""
+        if self.page_updated is not None:
+            self.page_updated[page] = True
+            self.content_epoch += 1
+
+    def touch(self, page: int, slots: list[int], now: float) -> None:
+        """Refresh the last-access time of subpages (reads count as access
+        for the coldness estimate of Equation 2)."""
+        if self.slot_time is not None:
+            for slot in slots:
+                self.slot_time[page, slot] = now
+
+    def add_disturb(self, page: int, written_slots: list[int]) -> int:
+        """Apply program-disturb bookkeeping for one partial-program pass.
+
+        In-page disturb hits every *valid* already-programmed subpage of the
+        page other than the slots just written; neighbouring-page disturb
+        hits programmed subpages of pages ``page - 1`` and ``page + 1``.
+        Returns the number of *valid* in-page subpages disturbed (the
+        quantity IPU eliminates).
+        """
+        if self.disturb_in is None:
+            raise SubpageStateError("disturb tracking only exists for SLC-mode blocks")
+        written = set(written_slots)
+        hit_valid = 0
+        for slot in range(self.spp):
+            if slot in written or not self.programmed[page, slot]:
+                continue
+            self.disturb_in[page, slot] += 1
+            if self.valid[page, slot]:
+                hit_valid += 1
+        for npage in (page - 1, page + 1):
+            if 0 <= npage < self.next_page:
+                mask = self.programmed[npage]
+                self.disturb_nb[npage][mask] += 1
+        return hit_valid
+
+    def erase(self) -> None:
+        """Erase the block.  All data must have been moved out already."""
+        if self.n_valid != 0:
+            raise EraseError(
+                f"block {self.block_id}: erase with {self.n_valid} valid subpages")
+        if self.state is BlockState.FREE:
+            raise EraseError(f"block {self.block_id}: erase of a free block")
+        self.erase_count += 1
+        self.next_page = 0
+        self.state = BlockState.FREE
+        self.level = None
+        self.programmed[:] = False
+        self.valid[:] = False
+        self.program_count[:] = 0
+        self.slot_lsn[:] = NO_LSN
+        if self.mode.is_slc:
+            self.slot_time[:] = 0.0
+            self.slot_program_time[:] = 0.0
+            self.disturb_in[:] = 0
+            self.disturb_nb[:] = 0
+            self.page_updated[:] = False
+        self.n_valid = 0
+        self.n_invalid = 0
+        self.n_programmed = 0
+        self.content_epoch += 1
+        self.read_count = 0
+
+    def open_as(self, level: int, now: float) -> None:
+        """Transition a free block to OPEN with a block-level label."""
+        if self.state is not BlockState.FREE:
+            raise SubpageStateError(
+                f"block {self.block_id}: open while {self.state.value}")
+        self.state = BlockState.OPEN
+        self.level = level
+        self.alloc_time = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Block({self.block_id}, {self.mode.value}, {self.state.value}, "
+                f"level={self.level}, next_page={self.next_page}, "
+                f"valid={self.n_valid}, invalid={self.n_invalid})")

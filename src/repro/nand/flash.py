@@ -1,0 +1,189 @@
+"""The flash array: every physical operation goes through here.
+
+:class:`FlashArray` owns the :class:`~repro.nand.block.Block` objects,
+splits them into the SLC-mode cache region and the native high-density
+region (striped across planes so both regions enjoy full parallelism),
+enforces physical constraints, applies program-disturb bookkeeping, and
+answers read-time RBER queries through the :class:`~repro.error.RberModel`.
+
+It is policy-free: which block to write, when to collect garbage and where
+to move data are FTL decisions (:mod:`repro.ftl`, :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+import numpy as np
+
+from ..config import SSDConfig
+from ..error import RberModel
+from ..errors import FlashError
+from .block import Block, BlockState
+from .cell import CellMode
+from .geometry import Geometry
+
+
+class ProgramResult(NamedTuple):
+    """Outcome of one program operation."""
+
+    partial: bool            #: True if the pass re-programmed a used page
+    disturbed_valid: int     #: valid in-page subpages hit by disturb
+
+
+class FlashArray:
+    """Physical flash device: blocks, regions, wear and disturb."""
+
+    def __init__(self, config: SSDConfig, rber: RberModel | None = None):
+        config.validate()
+        self.config = config
+        self.geometry = Geometry(config.geometry)
+        self.rber = rber if rber is not None else RberModel(config.reliability)
+        g = self.geometry
+
+        slc_per_plane = max(1, round(g.blocks_per_plane * config.cache.slc_ratio))
+        if slc_per_plane >= g.blocks_per_plane:
+            raise FlashError("SLC ratio leaves no high-density blocks in a plane")
+
+        self.blocks: list[Block] = []
+        self.slc_block_ids: list[int] = []
+        self.mlc_block_ids: list[int] = []
+        for block_id in range(g.total_blocks):
+            in_plane = block_id % g.blocks_per_plane
+            mode = CellMode.SLC if in_plane < slc_per_plane else CellMode.MLC
+            pages = g.pages_per_block(mode.is_slc)
+            self.blocks.append(Block(block_id, mode, pages, g.subpages_per_page))
+            (self.slc_block_ids if mode.is_slc else self.mlc_block_ids).append(block_id)
+
+        self.erases_slc = 0
+        self.erases_mlc = 0
+        self.programs_slc = 0
+        self.programs_mlc = 0
+        self.partial_programs = 0
+        self.disturbed_valid_subpages = 0
+
+    # -- queries ----------------------------------------------------------
+
+    def block(self, block_id: int) -> Block:
+        """The block object for ``block_id``."""
+        return self.blocks[block_id]
+
+    def effective_pe(self, block_id: int) -> int:
+        """Wear age used by the RBER model: assumed initial age plus the
+        erases this simulation performed."""
+        return self.config.reliability.initial_pe_cycles + self.blocks[block_id].erase_count
+
+    def region_blocks(self, slc: bool) -> list[Block]:
+        """All blocks of one region."""
+        ids = self.slc_block_ids if slc else self.mlc_block_ids
+        return [self.blocks[i] for i in ids]
+
+    def subpage_rbers(self, block_id: int, page: int, slots: Iterable[int],
+                      now: float | None = None) -> np.ndarray:
+        """Current RBER of the given subpages (no access-time side effect).
+
+        ``now`` enables the optional retention-loss term (data ages since
+        its program time); omit it to evaluate disturb and wear only.
+        """
+        block = self.blocks[block_id]
+        pe = self.effective_pe(block_id)
+        slot_list = list(slots)
+        rel = self.config.reliability
+        extra = (block.read_count * rel.read_disturb_unit_ratio
+                 * self.rber.disturb_unit(pe)
+                 if rel.read_disturb_unit_ratio else 0.0)
+        if block.mode.is_slc:
+            n_in = block.disturb_in[page, slot_list]
+            n_nb = block.disturb_nb[page, slot_list]
+            rbers = self.rber.subpage_rber_array(pe, True, n_in, n_nb) + extra
+            if rel.retention_unit_per_ms and now is not None:
+                ages = now - block.slot_program_time[page, slot_list]
+                rbers = rbers + (np.maximum(ages, 0.0)
+                                 * rel.retention_unit_per_ms
+                                 * self.rber.disturb_unit(pe))
+            return rbers
+        base = self.rber.base(pe, slc=False) + extra
+        return np.full(len(slot_list), base, dtype=np.float64)
+
+    # -- operations ---------------------------------------------------------
+
+    def program(
+        self,
+        block_id: int,
+        page: int,
+        slots: list[int],
+        lsns: list[int],
+        now: float,
+    ) -> ProgramResult:
+        """Program subpages; applies disturb when the pass is partial."""
+        block = self.blocks[block_id]
+        partial = block.program(
+            page, slots, lsns, now, self.config.reliability.max_page_programs
+        )
+        disturbed = 0
+        if partial:
+            disturbed = block.add_disturb(page, slots)
+            self.partial_programs += 1
+            self.disturbed_valid_subpages += disturbed
+        if block.mode.is_slc:
+            self.programs_slc += 1
+        else:
+            self.programs_mlc += 1
+        return ProgramResult(partial=partial, disturbed_valid=disturbed)
+
+    def reprogram(self, block_id: int, page: int) -> ProgramResult:
+        """Byte-granular partial pass inside already-programmed slots."""
+        block = self.blocks[block_id]
+        disturbed = block.reprogram_pass(
+            page, self.config.reliability.max_page_programs)
+        self.partial_programs += 1
+        self.disturbed_valid_subpages += disturbed
+        if block.mode.is_slc:
+            self.programs_slc += 1
+        else:  # pragma: no cover - reprogram_pass already rejects MLC
+            self.programs_mlc += 1
+        return ProgramResult(partial=True, disturbed_valid=disturbed)
+
+    def read(self, block_id: int, page: int, slots: list[int], now: float) -> np.ndarray:
+        """Read subpages: returns their RBERs and refreshes access times."""
+        block = self.blocks[block_id]
+        for slot in slots:
+            if not block.programmed[page, slot]:
+                raise FlashError(
+                    f"block {block_id} page {page} slot {slot}: read of unwritten subpage")
+        rbers = self.subpage_rbers(block_id, page, slots, now=now)
+        block.read_count += 1
+        block.touch(page, slots, now)
+        return rbers
+
+    def invalidate(self, block_id: int, page: int, slot: int) -> None:
+        """Invalidate one live subpage."""
+        self.blocks[block_id].invalidate(page, slot)
+
+    def erase(self, block_id: int) -> int:
+        """Erase a drained block; returns its new erase count."""
+        block = self.blocks[block_id]
+        block.erase()
+        if block.mode.is_slc:
+            self.erases_slc += 1
+        else:
+            self.erases_mlc += 1
+        return block.erase_count
+
+    # -- statistics -----------------------------------------------------------
+
+    def erase_counts(self, slc: bool) -> np.ndarray:
+        """Per-block erase counters of one region."""
+        return np.array([b.erase_count for b in self.region_blocks(slc)], dtype=np.int64)
+
+    def region_summary(self, slc: bool) -> dict[str, float]:
+        """Aggregate occupancy snapshot of one region."""
+        blocks = self.region_blocks(slc)
+        return {
+            "blocks": len(blocks),
+            "free_blocks": sum(1 for b in blocks if b.state is BlockState.FREE),
+            "valid_subpages": sum(b.n_valid for b in blocks),
+            "invalid_subpages": sum(b.n_invalid for b in blocks),
+            "programmed_subpages": sum(b.n_programmed for b in blocks),
+            "erases": self.erases_slc if slc else self.erases_mlc,
+        }

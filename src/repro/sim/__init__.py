@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate.
+
+A small event-driven kernel (:mod:`repro.sim.engine`), FCFS hardware
+resources with busy-time bookkeeping (:mod:`repro.sim.resources`), the
+operation/latency model (:mod:`repro.sim.ops`, :mod:`repro.sim.timing`),
+and the trace replayer (:mod:`repro.sim.simulator`) that drives an FTL
+scheme over a trace and collects the paper's metrics.
+"""
+
+from .engine import Engine, Event
+from .resources import Resource, ResourceSet
+from .ops import OpKind, Cause, OpRecord
+from .timing import TimingModel
+from .simulator import Simulator, SimulationResult, replay
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Resource",
+    "ResourceSet",
+    "OpKind",
+    "Cause",
+    "OpRecord",
+    "TimingModel",
+    "Simulator",
+    "SimulationResult",
+    "replay",
+]

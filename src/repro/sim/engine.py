@@ -1,0 +1,95 @@
+"""Event-driven simulation kernel.
+
+A classic calendar loop: events are ``(time, priority, seq)``-ordered in a
+binary heap, handlers may schedule further events, and the clock only moves
+forward.  The trace replayer schedules one *arrival* event per request and
+one *completion* event per serviced request; FTL state changes happen
+synchronously inside the arrival handler (requests are handled in arrival
+order, as on a real device queue), while hardware occupancy is tracked by
+:mod:`repro.sim.resources`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import SimulationError
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled callback."""
+
+    time: float
+    priority: int
+    seq: int
+    handler: Callable[[], None] = field(compare=False)
+
+
+class Engine:
+    """Minimal discrete-event engine."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    def schedule(self, time: float, handler: Callable[[], None], priority: int = 0) -> Event:
+        """Schedule ``handler`` to run at ``time``.
+
+        ``priority`` breaks ties at equal times (lower runs first);
+        insertion order breaks remaining ties.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self._now}")
+        event = Event(time, priority, next(self._seq), handler)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay: float, handler: Callable[[], None],
+                       priority: int = 0) -> Event:
+        """Schedule ``handler`` to run ``delay`` ms from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self._now + delay, handler, priority)
+
+    def step(self) -> bool:
+        """Run the earliest pending event; returns False when idle."""
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        event.handler()
+        self.processed += 1
+        return True
+
+    def run(self, until: float | None = None) -> None:
+        """Run events until the queue drains (or past ``until``)."""
+        if self._running:
+            raise SimulationError("engine re-entered while running")
+        self._running = True
+        try:
+            while self._heap:
+                if until is not None and self._heap[0].time > until:
+                    break
+                self.step()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled-but-unprocessed events."""
+        return len(self._heap)

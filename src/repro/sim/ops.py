@@ -1,0 +1,69 @@
+"""Flash operation records.
+
+An FTL scheme mutates flash state synchronously and returns a list of
+:class:`OpRecord` describing the physical operations the request (plus any
+GC or wear-levelling work it triggered) requires.  The replayer prices each
+record with the :class:`~repro.sim.timing.TimingModel` and schedules it on
+the chip/channel resources.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpKind(enum.Enum):
+    """Physical operation type."""
+
+    READ = "read"
+    PROGRAM = "program"
+    ERASE = "erase"
+
+
+class Cause(enum.Enum):
+    """Why the operation happened."""
+
+    HOST = "host"          #: directly serves the host request
+    GC = "gc"              #: garbage-collection traffic
+    WEAR = "wear"          #: static wear-levelling traffic
+    TRANSLATION = "xlat"   #: demand-paged mapping lookups (extension)
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One physical flash operation to be priced and scheduled."""
+
+    kind: OpKind
+    block_id: int
+    page: int
+    n_slots: int
+    is_slc: bool
+    cause: Cause
+    #: Subpages moved over the channel.  Programs without partial
+    #: programming must drive the whole page buffer, so schemes that lack
+    #: it transfer all four subpages even for a 4K write; reads and
+    #: partial programs transfer only what they touch.  0 means n_slots.
+    transfer_slots: int = 0
+    #: ECC decode time for reads (already derived from the subpages' RBER).
+    ecc_ms: float = 0.0
+    #: Expected raw bit errors of the read (drives the error-rate metric).
+    raw_errors: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_slots < 0:
+            raise ValueError(f"negative slot count {self.n_slots}")
+        if self.ecc_ms < 0 or self.raw_errors < 0:
+            raise ValueError("ECC time and raw errors must be non-negative")
+        if self.transfer_slots < 0:
+            raise ValueError("transfer_slots must be non-negative")
+
+    @property
+    def channel_slots(self) -> int:
+        """Subpages actually moved over the channel."""
+        return self.transfer_slots if self.transfer_slots else self.n_slots
+
+    @property
+    def is_host(self) -> bool:
+        """True when the op directly serves the host request."""
+        return self.cause is Cause.HOST

@@ -1,0 +1,386 @@
+"""Trace replay: drive an FTL scheme over a trace and collect metrics.
+
+One arrival event is scheduled per request.  The arrival handler runs the
+FTL synchronously (state changes in arrival order, like a device command
+queue), prices the returned operations, reserves chip/channel resources in
+issue order, and records the request's response time as the completion of
+its last host-serving operation.  GC and wear-levelling operations occupy
+the resources — delaying later requests — but do not count toward the
+triggering request's own host ops.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import SSDConfig
+from ..errors import SimulationError
+from ..traces.model import Trace
+from .engine import Engine
+from .ops import Cause, OpKind
+from .resources import ResourceSet
+from .timing import TimingModel
+
+
+@dataclass
+class SimulationResult:
+    """Everything a replay produces; feeds every figure of the evaluation."""
+
+    scheme: str
+    trace_name: str
+    n_requests: int
+    sim_time_ms: float
+    wall_seconds: float
+
+    #: Per-request response times (ms), split by direction.
+    read_latencies: np.ndarray = field(repr=False, default=None)
+    write_latencies: np.ndarray = field(repr=False, default=None)
+
+    #: Read-error metric: expected raw bit errors / bits, over host reads.
+    read_raw_errors: float = 0.0
+    read_bits: int = 0
+
+    erases_slc: int = 0
+    erases_mlc: int = 0
+    programs_slc: int = 0
+    programs_mlc: int = 0
+    partial_programs: int = 0
+    disturbed_valid_subpages: int = 0
+
+    host_programs_slc: int = 0
+    host_programs_mlc: int = 0
+    gc_programs_slc: int = 0
+    gc_programs_mlc: int = 0
+    host_subpages_slc: int = 0
+    host_subpages_mlc: int = 0
+    gc_subpages_slc: int = 0
+    gc_subpages_mlc: int = 0
+    level_writes: dict[int, int] = field(default_factory=dict)
+    intra_page_updates: int = 0
+    upgrade_moves: int = 0
+    new_data_writes: int = 0
+    update_writes: int = 0
+    slc_overflow_chunks: int = 0
+    evicted_subpages_to_mlc: int = 0
+
+    slc_gc_collections: int = 0
+    slc_page_utilization: float = 0.0
+    mlc_gc_collections: int = 0
+    gc_scan_seconds: float = 0.0
+    gc_scans: int = 0
+
+    slc_wear_spread: int = 0
+    mlc_wear_spread: int = 0
+    mapping_table_bytes: int = 0
+    metadata_bytes: int = 0
+
+    # -- headline metrics -------------------------------------------------
+
+    @property
+    def avg_latency_ms(self) -> float:
+        """Mean response time over all requests (Figure 5's headline)."""
+        total = len(self.read_latencies) + len(self.write_latencies)
+        if total == 0:
+            return 0.0
+        return float(self.read_latencies.sum() + self.write_latencies.sum()) / total
+
+    @property
+    def avg_read_latency_ms(self) -> float:
+        """Mean read response time."""
+        return float(self.read_latencies.mean()) if len(self.read_latencies) else 0.0
+
+    @property
+    def avg_write_latency_ms(self) -> float:
+        """Mean write response time."""
+        return float(self.write_latencies.mean()) if len(self.write_latencies) else 0.0
+
+    @property
+    def read_error_rate(self) -> float:
+        """Expected raw bit errors per bit read (Figures 8 and 14)."""
+        return self.read_raw_errors / self.read_bits if self.read_bits else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Flat summary for reports."""
+        return {
+            "scheme": self.scheme,
+            "trace": self.trace_name,
+            "requests": self.n_requests,
+            "avg_latency_ms": self.avg_latency_ms,
+            "avg_read_latency_ms": self.avg_read_latency_ms,
+            "avg_write_latency_ms": self.avg_write_latency_ms,
+            "read_error_rate": self.read_error_rate,
+            "erases_slc": self.erases_slc,
+            "erases_mlc": self.erases_mlc,
+            "slc_page_utilization": self.slc_page_utilization,
+            "mapping_table_bytes": self.mapping_table_bytes,
+            "gc_scan_seconds": self.gc_scan_seconds,
+        }
+
+
+class Simulator:
+    """Replays traces against one FTL instance."""
+
+    def __init__(self, ftl, config: SSDConfig | None = None,
+                 observer=None, idle_gc: bool = False,
+                 idle_threshold_ms: float = 2.0):
+        self.ftl = ftl
+        self.config = config if config is not None else ftl.config
+        #: Optional callable ``(request_index, now_ms)`` invoked after each
+        #: request is serviced (e.g. a metrics TimelineRecorder).
+        self.observer = observer
+        #: Run GC to its restore watermark inside arrival gaps longer than
+        #: ``idle_threshold_ms`` (background idle-time collection).
+        self.idle_gc = idle_gc
+        self.idle_threshold_ms = idle_threshold_ms
+        self.geometry = ftl.geometry
+        self.timing = TimingModel(self.config, ecc=ftl.ecc, rber=ftl.rber)
+        self.resources = ResourceSet(self.geometry)
+        self.engine = Engine()
+        self._subpage_bits = self.geometry.subpage_size * 8
+
+    def run(self, trace: Trace) -> SimulationResult:
+        """Replay ``trace`` and aggregate the paper's metrics."""
+        wall_start = time.perf_counter()
+        n = len(trace)
+        latencies = np.zeros(n, dtype=np.float64)
+        is_write = trace.is_write
+        read_raw_errors = 0.0
+        read_bits = 0
+
+        engine = self.engine
+        resources = self.resources
+        ftl = self.ftl
+        timing = self.timing
+        byte_range_to_lsns = self.geometry.byte_range_to_lsns
+        pipelined = self.config.timing.pipelined_bus
+        observer = self.observer
+        idle_gc = self.idle_gc
+        idle_threshold = self.idle_threshold_ms
+        last_arrival = [0.0]
+
+        def reserve(op, when):
+            if pipelined:
+                chip_ms, chan_ms, chip_first = timing.segments_ms(op)
+                return resources.acquire_pipelined(
+                    op.block_id, when, chip_ms, chan_ms, chip_first)
+            return resources.acquire_for_block(
+                op.block_id, when, timing.duration_ms(op))
+
+        def make_arrival(idx: int, offset: int, size: int, write: bool):
+            def arrival() -> None:
+                nonlocal read_raw_errors, read_bits
+                now = engine.now
+                if idle_gc and now - last_arrival[0] >= idle_threshold:
+                    for op in ftl.idle_collect(now):
+                        reserve(op, now)
+                last_arrival[0] = now
+                lsns = list(byte_range_to_lsns(offset, size))
+                if write:
+                    ops = ftl.handle_write(lsns, now)
+                else:
+                    ops = ftl.handle_read(lsns, now)
+                # Host-serving ops reserve the chips first; GC and
+                # wear-levelling traffic runs behind them (background GC),
+                # delaying future requests rather than the triggering one.
+                complete = now
+                for op in ops:
+                    if op.cause not in (Cause.HOST, Cause.TRANSLATION):
+                        continue
+                    _, end = reserve(op, now)
+                    if end > complete:
+                        complete = end
+                    if (not write and op.kind is OpKind.READ
+                            and op.cause is Cause.HOST):
+                        read_raw_errors += op.raw_errors
+                        read_bits += op.n_slots * self._subpage_bits
+                for op in ops:
+                    if op.cause in (Cause.HOST, Cause.TRANSLATION):
+                        continue
+                    reserve(op, now)
+                latencies[idx] = complete - now
+                if observer is not None:
+                    observer(idx, now)
+            return arrival
+
+        for i in range(n):
+            engine.schedule(
+                float(trace.times_ms[i]),
+                make_arrival(i, int(trace.offsets[i]), int(trace.sizes[i]),
+                             bool(is_write[i])),
+            )
+        engine.run()
+
+        flash = ftl.flash
+        stats = ftl.stats
+        result = SimulationResult(
+            scheme=ftl.scheme_name,
+            trace_name=trace.name,
+            n_requests=n,
+            sim_time_ms=engine.now,
+            wall_seconds=time.perf_counter() - wall_start,
+            read_latencies=latencies[~is_write],
+            write_latencies=latencies[is_write],
+            read_raw_errors=read_raw_errors,
+            read_bits=read_bits,
+            erases_slc=flash.erases_slc,
+            erases_mlc=flash.erases_mlc,
+            programs_slc=flash.programs_slc,
+            programs_mlc=flash.programs_mlc,
+            partial_programs=flash.partial_programs,
+            disturbed_valid_subpages=flash.disturbed_valid_subpages,
+            host_programs_slc=stats.host_programs_slc,
+            host_programs_mlc=stats.host_programs_mlc,
+            gc_programs_slc=stats.gc_programs_slc,
+            gc_programs_mlc=stats.gc_programs_mlc,
+            host_subpages_slc=stats.host_subpages_slc,
+            host_subpages_mlc=stats.host_subpages_mlc,
+            gc_subpages_slc=stats.gc_subpages_slc,
+            gc_subpages_mlc=stats.gc_subpages_mlc,
+            level_writes=dict(stats.level_writes),
+            intra_page_updates=stats.intra_page_updates,
+            upgrade_moves=stats.upgrade_moves,
+            new_data_writes=stats.new_data_writes,
+            update_writes=stats.update_writes,
+            slc_overflow_chunks=stats.slc_overflow_chunks,
+            evicted_subpages_to_mlc=stats.evicted_subpages_to_mlc,
+            slc_gc_collections=ftl.slc_gc.stats.collections,
+            slc_page_utilization=ftl.slc_gc.stats.page_utilization,
+            mlc_gc_collections=ftl.mlc_gc.stats.collections,
+            gc_scan_seconds=ftl.slc_gc.policy.scan_seconds,
+            gc_scans=ftl.slc_gc.policy.scans,
+            slc_wear_spread=ftl.slc_wear.spread,
+            mlc_wear_spread=ftl.mlc_wear.spread,
+        )
+        from ..metrics.memory import mapping_breakdown
+        breakdown = mapping_breakdown(ftl.scheme_name, self.config)
+        result.mapping_table_bytes = breakdown.mapping_bytes
+        result.metadata_bytes = breakdown.metadata_bytes
+        return result
+
+    def run_closed(self, trace: Trace, queue_depth: int = 8) -> SimulationResult:
+        """Closed-loop replay: ignore trace timestamps and keep at most
+        ``queue_depth`` requests outstanding.
+
+        The standard alternative to open-loop timestamp replay — it
+        measures the device's sustainable behaviour rather than its
+        response to a fixed arrival process.  Request ``i`` issues when
+        request ``i - queue_depth`` completes (FTL state still mutates in
+        issue order, as on a real command queue).
+        """
+        if queue_depth < 1:
+            raise SimulationError(f"queue_depth must be >= 1, got {queue_depth}")
+        wall_start = time.perf_counter()
+        n = len(trace)
+        latencies = np.zeros(n, dtype=np.float64)
+        completions = np.zeros(n, dtype=np.float64)
+        is_write = trace.is_write
+        read_raw_errors = 0.0
+        read_bits = 0
+
+        resources = self.resources
+        ftl = self.ftl
+        timing = self.timing
+        byte_range_to_lsns = self.geometry.byte_range_to_lsns
+        pipelined = self.config.timing.pipelined_bus
+        observer = self.observer
+        idle_gc = self.idle_gc
+        idle_threshold = self.idle_threshold_ms
+        last_arrival = [0.0]
+        now = 0.0
+
+        for i in range(n):
+            if i >= queue_depth:
+                now = max(now, completions[i - queue_depth])
+            lsns = list(byte_range_to_lsns(int(trace.offsets[i]),
+                                           int(trace.sizes[i])))
+            write = bool(is_write[i])
+            if write:
+                ops = ftl.handle_write(lsns, now)
+            else:
+                ops = ftl.handle_read(lsns, now)
+            complete = now
+            for op in ops:
+                if op.cause not in (Cause.HOST, Cause.TRANSLATION):
+                    continue
+                if pipelined:
+                    chip_ms, chan_ms, chip_first = timing.segments_ms(op)
+                    _, end = resources.acquire_pipelined(
+                        op.block_id, now, chip_ms, chan_ms, chip_first)
+                else:
+                    _, end = resources.acquire_for_block(
+                        op.block_id, now, timing.duration_ms(op))
+                if end > complete:
+                    complete = end
+                if (not write and op.kind is OpKind.READ
+                        and op.cause is Cause.HOST):
+                    read_raw_errors += op.raw_errors
+                    read_bits += op.n_slots * self._subpage_bits
+            for op in ops:
+                if op.cause in (Cause.HOST, Cause.TRANSLATION):
+                    continue
+                if pipelined:
+                    chip_ms, chan_ms, chip_first = timing.segments_ms(op)
+                    resources.acquire_pipelined(
+                        op.block_id, now, chip_ms, chan_ms, chip_first)
+                else:
+                    resources.acquire_for_block(
+                        op.block_id, now, timing.duration_ms(op))
+            completions[i] = complete
+            latencies[i] = complete - now
+            if observer is not None:
+                observer(i, now)
+
+        flash = ftl.flash
+        stats = ftl.stats
+        result = SimulationResult(
+            scheme=ftl.scheme_name,
+            trace_name=trace.name,
+            n_requests=n,
+            sim_time_ms=float(completions.max()) if n else 0.0,
+            wall_seconds=time.perf_counter() - wall_start,
+            read_latencies=latencies[~is_write],
+            write_latencies=latencies[is_write],
+            read_raw_errors=read_raw_errors,
+            read_bits=read_bits,
+            erases_slc=flash.erases_slc,
+            erases_mlc=flash.erases_mlc,
+            programs_slc=flash.programs_slc,
+            programs_mlc=flash.programs_mlc,
+            partial_programs=flash.partial_programs,
+            disturbed_valid_subpages=flash.disturbed_valid_subpages,
+            host_programs_slc=stats.host_programs_slc,
+            host_programs_mlc=stats.host_programs_mlc,
+            gc_programs_slc=stats.gc_programs_slc,
+            gc_programs_mlc=stats.gc_programs_mlc,
+            host_subpages_slc=stats.host_subpages_slc,
+            host_subpages_mlc=stats.host_subpages_mlc,
+            gc_subpages_slc=stats.gc_subpages_slc,
+            gc_subpages_mlc=stats.gc_subpages_mlc,
+            level_writes=dict(stats.level_writes),
+            intra_page_updates=stats.intra_page_updates,
+            upgrade_moves=stats.upgrade_moves,
+            new_data_writes=stats.new_data_writes,
+            update_writes=stats.update_writes,
+            slc_overflow_chunks=stats.slc_overflow_chunks,
+            evicted_subpages_to_mlc=stats.evicted_subpages_to_mlc,
+            slc_gc_collections=ftl.slc_gc.stats.collections,
+            slc_page_utilization=ftl.slc_gc.stats.page_utilization,
+            mlc_gc_collections=ftl.mlc_gc.stats.collections,
+            gc_scan_seconds=ftl.slc_gc.policy.scan_seconds,
+            gc_scans=ftl.slc_gc.policy.scans,
+            slc_wear_spread=ftl.slc_wear.spread,
+            mlc_wear_spread=ftl.mlc_wear.spread,
+        )
+        from ..metrics.memory import mapping_breakdown
+        breakdown = mapping_breakdown(ftl.scheme_name, self.config)
+        result.mapping_table_bytes = breakdown.mapping_bytes
+        result.metadata_bytes = breakdown.metadata_bytes
+        return result
+
+
+def replay(ftl, trace: Trace, config: SSDConfig | None = None) -> SimulationResult:
+    """One-shot convenience: build a simulator and run a trace."""
+    return Simulator(ftl, config).run(trace)

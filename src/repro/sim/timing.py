@@ -1,0 +1,65 @@
+"""Latency model for flash operations (Table 2).
+
+* page read: media sensing time (mode-dependent) + per-subpage channel
+  transfer + BCH decode time (a function of the read subpages' RBER,
+  computed by the FTL when it issues the op),
+* page program: per-subpage channel transfer + media program time,
+* erase: the Table 2 block erase time.
+
+A *pseudo read* is a read of a logical address the trace never wrote:
+the data is assumed to pre-exist in the high-density region, priced as an
+MLC read at the base (undisturbed) RBER.
+"""
+
+from __future__ import annotations
+
+from ..config import SSDConfig
+from ..error import EccModel, RberModel
+from .ops import OpKind, OpRecord
+
+
+class TimingModel:
+    """Prices :class:`~repro.sim.ops.OpRecord` instances."""
+
+    def __init__(self, config: SSDConfig,
+                 ecc: EccModel | None = None,
+                 rber: RberModel | None = None):
+        config.validate()
+        self.config = config
+        self.timing = config.timing
+        self.ecc = ecc if ecc is not None else EccModel(config.timing, config.reliability)
+        self.rber = rber if rber is not None else RberModel(config.reliability)
+
+    def duration_ms(self, op: OpRecord) -> float:
+        """Service time of one operation on its chip/channel pair."""
+        t = self.timing
+        if op.kind is OpKind.ERASE:
+            return t.erase_ms
+        transfer = t.transfer_ms_per_subpage * op.channel_slots
+        if op.kind is OpKind.PROGRAM:
+            return transfer + t.write_ms(op.is_slc)
+        return t.read_ms(op.is_slc) + transfer + op.ecc_ms
+
+    def segments_ms(self, op: OpRecord) -> tuple[float, float, bool]:
+        """(chip_ms, channel_ms, chip_first) for the pipelined bus model.
+
+        ECC decode happens in the controller as data streams off the
+        channel, so it is charged to the channel stage of reads.
+        """
+        t = self.timing
+        if op.kind is OpKind.ERASE:
+            return t.erase_ms, 0.0, True
+        transfer = t.transfer_ms_per_subpage * op.channel_slots
+        if op.kind is OpKind.PROGRAM:
+            return t.write_ms(op.is_slc), transfer, False
+        return t.read_ms(op.is_slc), transfer + op.ecc_ms, True
+
+    def pseudo_read_ecc_ms(self) -> float:
+        """ECC decode time for never-written (pre-existing MLC) data."""
+        base = self.rber.base(self.config.reliability.initial_pe_cycles, slc=False)
+        return self.ecc.decode_ms(base)
+
+    def pseudo_read_raw_errors(self, n_slots: int) -> float:
+        """Expected raw bit errors of a pseudo read of ``n_slots`` subpages."""
+        base = self.rber.base(self.config.reliability.initial_pe_cycles, slc=False)
+        return self.ecc.expected_raw_errors(base, n_slots * self.config.geometry.subpage_size)

@@ -1,0 +1,12 @@
+"""SLC-mode cache introspection.
+
+The cache's *mechanics* live in the FTL layer (allocation in
+:mod:`repro.ftl.allocator`, movement policies in the schemes, collection
+in :mod:`repro.ftl.gc`); this package provides the read-only *view* of the
+cache that examples, experiments and operators consume: per-level
+occupancy, free headroom, hotness composition.
+"""
+
+from .region import SlcCacheView, LevelStats
+
+__all__ = ["SlcCacheView", "LevelStats"]

@@ -1,0 +1,37 @@
+"""Block I/O trace substrate.
+
+The paper evaluates on six traces (MSR-Cambridge ``ts0``, ``wdev0``,
+``usr0``; Microsoft production ``ads``; VDI ``lun1``, ``lun2``).  Those
+files are not redistributable, so this package provides:
+
+* :mod:`repro.traces.profiles` — per-trace statistical profiles lifted
+  from Tables 1 and 3 of the paper,
+* :mod:`repro.traces.synth` — a constructive generator that reproduces the
+  profiled marginals (request count, write ratio, write sizes, update-size
+  buckets, hot-address ratio),
+* :mod:`repro.traces.msr` — a parser for the real MSR-Cambridge CSV format
+  for users who have the original files,
+* :mod:`repro.traces.stats` — characterisation used to regenerate
+  Tables 1 and 3 from any trace.
+"""
+
+from .model import Trace, TraceRequest, OpType
+from .profiles import TraceProfile, PROFILES, profile
+from .synth import SyntheticTraceGenerator, generate
+from .msr import parse_msr_csv
+from .stats import TraceStats, characterize, update_size_buckets
+
+__all__ = [
+    "Trace",
+    "TraceRequest",
+    "OpType",
+    "TraceProfile",
+    "PROFILES",
+    "profile",
+    "SyntheticTraceGenerator",
+    "generate",
+    "parse_msr_csv",
+    "TraceStats",
+    "characterize",
+    "update_size_buckets",
+]

@@ -1,0 +1,128 @@
+"""Workload analysis beyond Tables 1 and 3.
+
+Characterisations the paper's motivation (Section 2.2) rests on — how
+skewed the update traffic is, how quickly addresses are re-used, how fast
+the unique footprint grows — computed for any :class:`~repro.traces.model.Trace`
+(synthetic or parsed from MSR CSVs).  The experiment runner's device-sizing
+heuristics and the generator's calibration were validated against these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .model import Trace
+
+
+@dataclass(frozen=True)
+class ReuseStats:
+    """Temporal re-use of write addresses."""
+
+    #: Requests between consecutive writes of the same address (medians
+    #: and percentiles over all update events).
+    median_gap: float
+    p90_gap: float
+    #: Share of updates whose gap is under 10% of the trace length
+    #: (the temporal-locality mass).
+    near_fraction: float
+    n_updates: int
+
+
+def write_reuse(trace: Trace) -> ReuseStats:
+    """Request-index gaps between successive writes of each address."""
+    last_seen: dict[int, int] = {}
+    gaps: list[int] = []
+    for i in range(len(trace)):
+        if not trace.is_write[i]:
+            continue
+        offset = int(trace.offsets[i])
+        if offset in last_seen:
+            gaps.append(i - last_seen[offset])
+        last_seen[offset] = i
+    if not gaps:
+        return ReuseStats(0.0, 0.0, 0.0, 0)
+    arr = np.asarray(gaps, dtype=np.float64)
+    near = float((arr < 0.1 * len(trace)).mean())
+    return ReuseStats(
+        median_gap=float(np.median(arr)),
+        p90_gap=float(np.percentile(arr, 90)),
+        near_fraction=near,
+        n_updates=len(gaps),
+    )
+
+
+def footprint_curve(trace: Trace, points: int = 20) -> tuple[np.ndarray, np.ndarray]:
+    """Unique written bytes versus request index.
+
+    Returns ``(request_indices, unique_bytes)`` sampled at ``points``
+    positions — the curve whose final value is the working-set footprint
+    the device-sizing heuristics use.
+    """
+    if points < 1:
+        raise ValueError("points must be >= 1")
+    seen: set[int] = set()
+    unique = np.zeros(len(trace), dtype=np.int64)
+    total = 0
+    for i in range(len(trace)):
+        if trace.is_write[i]:
+            offset = int(trace.offsets[i])
+            if offset not in seen:
+                seen.add(offset)
+                total += int(trace.sizes[i])
+        unique[i] = total
+    idx = np.linspace(0, max(0, len(trace) - 1), num=points).astype(np.int64)
+    return idx, unique[idx]
+
+
+def write_skew(trace: Trace, top_fraction: float = 0.1) -> float:
+    """Share of write traffic absorbed by the hottest addresses.
+
+    ``write_skew(t, 0.1) == 0.8`` means the top 10% of write addresses
+    receive 80% of all writes — the skew that makes an SLC cache work.
+    """
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError("top_fraction must lie in (0, 1]")
+    counts: dict[int, int] = {}
+    for i in range(len(trace)):
+        if trace.is_write[i]:
+            offset = int(trace.offsets[i])
+            counts[offset] = counts.get(offset, 0) + 1
+    if not counts:
+        return 0.0
+    values = np.sort(np.fromiter(counts.values(), dtype=np.int64))[::-1]
+    k = max(1, int(round(top_fraction * len(values))))
+    return float(values[:k].sum() / values.sum())
+
+
+def interarrival_stats(trace: Trace) -> dict[str, float]:
+    """Mean/median/p99 inter-arrival gaps in milliseconds."""
+    if len(trace) < 2:
+        return {"mean": 0.0, "median": 0.0, "p99": 0.0}
+    gaps = np.diff(trace.times_ms)
+    return {
+        "mean": float(gaps.mean()),
+        "median": float(np.median(gaps)),
+        "p99": float(np.percentile(gaps, 99)),
+    }
+
+
+def update_interval_ms(trace: Trace) -> float:
+    """Mean wall-clock time between successive writes of an address.
+
+    This is the quantity the SLC cache's residency time must exceed for
+    intra-page updates to be possible — the bridge between trace character
+    and cache sizing.
+    """
+    last_time: dict[int, float] = {}
+    intervals: list[float] = []
+    for i in range(len(trace)):
+        if not trace.is_write[i]:
+            continue
+        offset = int(trace.offsets[i])
+        t = float(trace.times_ms[i])
+        if offset in last_time:
+            intervals.append(t - last_time[offset])
+        last_time[offset] = t
+    return float(np.mean(intervals)) if intervals else 0.0

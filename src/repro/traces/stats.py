@@ -1,0 +1,98 @@
+"""Trace characterisation: regenerates Tables 1 and 3 from any trace.
+
+Definitions follow the paper:
+
+* an **updated request** is a write whose start address was written
+  before (Table 1 buckets its sizes into <=4K, 4-8K, >8K),
+* a **hot address** is a distinct request start address touched at least
+  4 times by any request (Table 3's "Hot write" column).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..units import KIB
+from .model import Trace
+
+#: Table 1 bucket upper bounds in bytes (last bucket is open-ended).
+BUCKET_BOUNDS = (4 * KIB, 8 * KIB)
+#: Accesses needed for an address to count as hot (Section 4.1).
+HOT_THRESHOLD = 4
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate statistics of one trace (one row of Tables 1 and 3)."""
+
+    name: str
+    n_requests: int
+    write_ratio: float
+    mean_write_bytes: float
+    hot_write_ratio: float
+    n_updates: int
+    update_size_probs: tuple[float, float, float]
+
+    def table1_row(self) -> dict[str, str]:
+        """Formatted Table 1 row."""
+        p = self.update_size_probs
+        return {
+            "Trace": self.name,
+            "Size<=4K": f"{p[0]:.1%}",
+            "Size 4-8K": f"{p[1]:.1%}",
+            "Size>8K": f"{p[2]:.1%}",
+        }
+
+    def table3_row(self) -> dict[str, str]:
+        """Formatted Table 3 row."""
+        return {
+            "Trace": self.name,
+            "# of Req.": f"{self.n_requests:,}",
+            "Write R": f"{self.write_ratio:.1%}",
+            "Write SZ": f"{self.mean_write_bytes / KIB:.1f}KB",
+            "Hot write": f"{self.hot_write_ratio:.1%}",
+        }
+
+
+def update_size_buckets(sizes_bytes: "list[int]") -> tuple[float, float, float]:
+    """Fraction of update sizes in each Table 1 bucket."""
+    if not sizes_bytes:
+        return (0.0, 0.0, 0.0)
+    lo = sum(1 for s in sizes_bytes if s <= BUCKET_BOUNDS[0])
+    mid = sum(1 for s in sizes_bytes if BUCKET_BOUNDS[0] < s <= BUCKET_BOUNDS[1])
+    hi = len(sizes_bytes) - lo - mid
+    n = len(sizes_bytes)
+    return (lo / n, mid / n, hi / n)
+
+
+def characterize(trace: Trace) -> TraceStats:
+    """Compute Table 1 and Table 3 statistics for ``trace``."""
+    access_counts: Counter[int] = Counter()
+    written: set[int] = set()
+    update_sizes: list[int] = []
+    write_bytes = 0
+    n_writes = 0
+
+    for req in trace:
+        access_counts[req.offset] += 1
+        if req.is_write:
+            n_writes += 1
+            write_bytes += req.size
+            if req.offset in written:
+                update_sizes.append(req.size)
+            else:
+                written.add(req.offset)
+
+    n = len(trace)
+    hot = sum(1 for c in access_counts.values() if c >= HOT_THRESHOLD)
+    distinct = len(access_counts)
+    return TraceStats(
+        name=trace.name,
+        n_requests=n,
+        write_ratio=n_writes / n if n else 0.0,
+        mean_write_bytes=write_bytes / n_writes if n_writes else 0.0,
+        hot_write_ratio=hot / distinct if distinct else 0.0,
+        n_updates=len(update_sizes),
+        update_size_probs=update_size_buckets(update_sizes),
+    )

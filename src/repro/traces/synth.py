@@ -1,0 +1,436 @@
+"""Synthetic trace generation calibrated to the paper's Tables 1 and 3.
+
+The generator is *constructive*: it first decides the ground truth — a set
+of non-overlapping write extents, which of them are hot, how often each is
+written and read — so the published marginals hold by construction rather
+than by tuning:
+
+* the write-request count equals ``round(n_requests * write_ratio)``,
+* every write of an extent uses the extent's size (applications rewrite a
+  record in place), so updates fully cover the data they supersede;
+  extents written more than once draw that size from the profile's
+  Table 1 update-size mix — making the measured update distribution exact
+  — while single-write (cold) extents absorb the remaining size budget so
+  the overall mean write size matches the Table 3 value,
+* the fraction of distinct request addresses accessed >= 4 times matches
+  the profile's hot-write ratio: the read side adds *read-hot* addresses
+  and unique cold reads in exactly the proportion that balances the ratio
+  over the full address population.
+
+Events are interleaved by a seeded random permutation (each extent's first
+write precedes its updates by construction) and time-stamped with
+exponential inter-arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TraceError
+from ..rng import make_rng
+from ..units import KIB
+from .model import Trace
+from .profiles import TraceProfile
+
+#: Subpage granularity all sizes/offsets align to.
+_ALIGN = 4 * KIB
+#: Representative sizes (bytes) of the three Table 1 update buckets.
+_BUCKET_SMALL = 4 * KIB
+_BUCKET_MID = 8 * KIB
+_BUCKET_BIG = np.array([12 * KIB, 16 * KIB, 24 * KIB, 32 * KIB, 48 * KIB, 64 * KIB])
+#: Sampling weights inside the >8K bucket (skewed toward 16K).
+_BIG_WEIGHTS = np.array([0.25, 0.35, 0.18, 0.12, 0.06, 0.04])
+_BIG_WEIGHTS = _BIG_WEIGHTS / _BIG_WEIGHTS.sum()
+#: Largest request the generator emits.
+_MAX_SIZE = 64 * KIB
+#: Accesses that make an address hot (paper Section 4.1).
+_HOT_THRESHOLD = 4
+#: Mean accesses of a read-hot address: 4 + Poisson(2).
+_READ_HOT_MEAN = 6.0
+#: Mean accesses of a unique cold read address (1 w.p. 0.8, 2 w.p. 0.2).
+_COLD_READ_MEAN = 1.2
+#: Share of reads directed at hot write extents when any exist.
+_HIT_SHARE = 0.7
+#: Temporal locality: an extent's accesses fall inside a window this wide
+#: (as a fraction of the whole trace).  Block I/O traces cluster re-use in
+#: time — without this no cache of realistic size could retain anything.
+_LOCALITY_WINDOW = 0.08
+
+
+@dataclass(frozen=True)
+class ExtentTable:
+    """Ground truth the generator built the trace from (exposed for tests)."""
+
+    starts: np.ndarray        #: byte start of each write extent
+    sizes: np.ndarray         #: byte length of each write extent
+    write_counts: np.ndarray  #: number of write requests per extent
+    is_hot: np.ndarray        #: write-hot flag (>= 4 writes) per extent
+
+    @property
+    def n_extents(self) -> int:
+        """Number of distinct write extents."""
+        return len(self.starts)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Unique bytes ever written."""
+        return int(self.sizes.sum())
+
+    def page_footprint_bytes(self, page_size: int = 16 * KIB) -> int:
+        """Bytes of whole physical pages the extents pin down.
+
+        Schemes that place one extent chunk per page without merging
+        (Baseline, IPU's extent-grouped pages) occupy a full page per
+        logical page an extent overlaps; device sizing must budget for
+        that, not for the raw byte footprint.
+        """
+        first = self.starts // page_size
+        last = (self.starts + self.sizes - 1) // page_size
+        return int((last - first + 1).sum()) * page_size
+
+
+class SyntheticTraceGenerator:
+    """Generate a :class:`Trace` matching a :class:`TraceProfile`."""
+
+    def __init__(
+        self,
+        profile: TraceProfile,
+        n_requests: int | None = None,
+        mean_interarrival_ms: float = 0.25,
+        seed: int | None = None,
+    ):
+        profile.validate()
+        if mean_interarrival_ms <= 0:
+            raise TraceError("mean_interarrival_ms must be positive")
+        self.profile = profile
+        self.n_requests = int(n_requests if n_requests is not None else profile.n_requests)
+        if self.n_requests < 1:
+            raise TraceError("n_requests must be >= 1")
+        self.mean_interarrival_ms = mean_interarrival_ms
+        self.rng = make_rng(seed, key=f"trace:{profile.name}")
+        self.extents: ExtentTable | None = None
+
+    # -- sampling helpers ---------------------------------------------------
+
+    def _sample_update_sizes(self, n: int) -> np.ndarray:
+        """Draw ``n`` update-request sizes from the Table 1 bucket mix."""
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        probs = np.asarray(self.profile.update_size_probs, dtype=np.float64)
+        probs = probs / probs.sum()
+        buckets = self.rng.choice(3, size=n, p=probs)
+        sizes = np.full(n, _BUCKET_SMALL, dtype=np.int64)
+        sizes[buckets == 1] = _BUCKET_MID
+        nbig = int((buckets == 2).sum())
+        if nbig:
+            sizes[buckets == 2] = self.rng.choice(_BUCKET_BIG, size=nbig, p=_BIG_WEIGHTS)
+        return sizes
+
+    # -- write-side construction ---------------------------------------------
+
+    def _build_counts(self, n_writes: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-extent write counts and write-hot flags summing to ``n_writes``.
+
+        Hot extents draw heavy-tailed (Pareto) write counts >= 4; cold
+        extents one to three.  The population is padded/trimmed with singleton extents so
+        the counts sum exactly.
+        """
+        r = self.profile.hot_write_ratio
+        # Hot access counts are heavy-tailed: a handful of addresses absorb
+        # most of the re-writes, so hot counts follow 4 + floor(3 *
+        # Pareto(1.4)) capped at 200 (empirical mean ~9.6).
+        hot_mean = 9.6
+        mean_count = r * hot_mean + (1.0 - r) * 1.3
+        n_extents = max(1, int(round(n_writes / mean_count)))
+        n_hot = min(int(round(r * n_extents)), n_writes // _HOT_THRESHOLD)
+        n_cold = n_extents - n_hot
+
+        tail_cap = min(200, max(6, n_writes // 10))
+        hot_counts = 4 + np.minimum(
+            np.floor(3.0 * self.rng.pareto(1.4, size=n_hot)), tail_cap
+        ).astype(np.int64)
+        cold_counts = 1 + self.rng.choice(3, size=n_cold, p=[0.75, 0.2, 0.05])
+        counts = np.concatenate([hot_counts, cold_counts]).astype(np.int64)
+        is_hot = np.zeros(len(counts), dtype=bool)
+        is_hot[:n_hot] = True
+
+        diff = n_writes - int(counts.sum())
+        if diff > 0:
+            # Pad with a hot/cold mix that preserves the hot-address share
+            # (heavy-tailed draws often undershoot their mean, and padding
+            # with cold singletons alone would dilute hotness):
+            # k_h extents of 4 writes and k_c singletons with
+            # 4*k_h + k_c = diff and (H + k_h) / (U + k_h + k_c) = r.
+            U, H = len(counts), int(is_hot.sum())
+            k_h = int(round((r * (U + diff) - H) / (1.0 + 3.0 * r)))
+            k_h = max(0, min(k_h, diff // _HOT_THRESHOLD))
+            k_c = diff - _HOT_THRESHOLD * k_h
+            counts = np.concatenate([
+                counts,
+                np.full(k_h, _HOT_THRESHOLD, dtype=np.int64),
+                np.ones(k_c, dtype=np.int64),
+            ])
+            is_hot = np.concatenate([
+                is_hot, np.ones(k_h, dtype=bool), np.zeros(k_c, dtype=bool)])
+        elif diff < 0:
+            deficit = -diff
+            # Shave writes off the largest counts (preserving the extent
+            # population and therefore the hot share), never pushing a
+            # hot extent below the hotness threshold while any slack
+            # remains elsewhere.
+            while deficit > 0 and len(counts):
+                floors = np.where(is_hot, _HOT_THRESHOLD, 1)
+                slack = counts - floors
+                idx = int(np.argmax(slack))
+                if slack[idx] > 0:
+                    take = min(deficit, int(slack[idx]))
+                else:  # pragma: no cover - degenerate tiny traces
+                    idx = int(np.argmax(counts))
+                    take = min(deficit, int(counts[idx]))
+                counts[idx] -= take
+                deficit -= take
+                if counts[idx] <= 0:  # pragma: no cover - degenerate tiny traces
+                    counts = np.delete(counts, idx)
+                    is_hot = np.delete(is_hot, idx)
+        return counts, is_hot
+
+
+    def _balanced_update_sizes(self, weights: np.ndarray) -> np.ndarray:
+        """Sizes for rewritten extents whose *weighted* (per-update) bucket
+        distribution matches Table 1.
+
+        Write counts are heavy-tailed, so sampling each extent's bucket
+        independently would let a single 100-update extent drag the
+        measured distribution; instead buckets are assigned by largest
+        remaining deficit against the target shares of total update mass.
+        """
+        n = len(weights)
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        probs = np.asarray(self.profile.update_size_probs, dtype=np.float64)
+        probs = probs / probs.sum()
+        need = probs * float(weights.sum())
+        sizes = np.empty(n, dtype=np.int64)
+        big_pool = self.rng.choice(_BUCKET_BIG, size=n, p=_BIG_WEIGHTS)
+        # Place the heaviest extents first so the many light ones can
+        # fine-tune the remaining deficits.
+        order = np.argsort(-weights, kind="stable")
+        for idx in order:
+            bucket = int(np.argmax(need))
+            need[bucket] -= float(weights[idx])
+            if bucket == 0:
+                sizes[idx] = _BUCKET_SMALL
+            elif bucket == 1:
+                sizes[idx] = _BUCKET_MID
+            else:
+                sizes[idx] = big_pool[idx]
+        return sizes
+
+    def _build_extent_sizes(self, counts: np.ndarray) -> np.ndarray:
+        """Per-extent request sizes.
+
+        Every write of an extent — first write and re-writes alike — uses
+        the extent's size, mirroring how applications rewrite a record
+        in place.  This makes updates *fully cover* the previous version
+        (no page-mapped scheme leaks partially-superseded pages) and makes
+        the measured update-size distribution exact:
+
+        * extents written more than once draw their size from the Table 1
+          update-size mix (their re-writes *are* the updated requests),
+        * single-write extents (the cold bulk) absorb whatever size budget
+          is left so the overall mean write size lands on Table 3.
+        """
+        n_writes = int(counts.sum())
+        multi = counts >= 2
+        sizes = np.empty(len(counts), dtype=np.int64)
+        sizes[multi] = self._balanced_update_sizes(counts[multi] - 1)
+
+        singles = ~multi
+        n_singles = int(singles.sum())
+        if n_singles:
+            target_total = self.profile.mean_write_bytes * n_writes
+            multi_bytes = int((counts[multi] * sizes[multi]).sum())
+            mu_single = (target_total - multi_bytes) / max(1, n_singles)
+            mu_single = float(np.clip(mu_single, _ALIGN, _MAX_SIZE))
+            lam = mu_single / _ALIGN - 1.0
+            draw = _ALIGN * (1 + self.rng.poisson(max(lam, 0.0), size=n_singles))
+            sizes[singles] = np.minimum(draw, _MAX_SIZE)
+        return sizes
+
+    # -- read-side construction ------------------------------------------------
+
+    def _design_reads(
+        self, n_reads: int, counts: np.ndarray, is_hot: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decide read targets so the *overall* hot-address ratio matches.
+
+        Returns ``(hit_extents, read_hot_counts, cold_single_counts)``:
+        indices of hot write extents receiving hit reads, per-address access
+        counts of read-hot addresses, and of unique cold read addresses.
+        The balance equation sizes the read-only population so that::
+
+            (H_w + H_r) / (U + H_r + S_r) = hot_write_ratio
+        """
+        r = self.profile.hot_write_ratio
+        U = len(counts)
+        H_w = int(is_hot.sum())
+        empty = np.zeros(0, dtype=np.int64)
+        if n_reads == 0:
+            return empty, empty, empty
+
+        hot_ids = np.flatnonzero(is_hot)
+        n_hits = int(round(n_reads * _HIT_SHARE)) if len(hot_ids) else 0
+        budget = n_reads - n_hits
+
+        # Solve S_r, H_r from the balance and budget equations.
+        denom = _READ_HOT_MEAN * r / max(1e-9, (1.0 - r)) + _COLD_READ_MEAN
+        bias = _READ_HOT_MEAN * (r * U - H_w) / max(1e-9, (1.0 - r))
+        S_r = max(0.0, (budget - bias) / denom)
+        H_r = (r * (U + S_r) - H_w) / max(1e-9, (1.0 - r))
+        if H_r < 0:
+            # Write-hot already overshoots: dilute with cold singles only.
+            H_r = 0.0
+            S_r = min(budget / _COLD_READ_MEAN, max(0.0, H_w / max(r, 1e-9) - U))
+        n_read_hot = int(round(H_r))
+        n_singles = int(round(S_r))
+
+        read_hot_counts = (
+            _HOT_THRESHOLD + self.rng.poisson(_READ_HOT_MEAN - _HOT_THRESHOLD,
+                                              size=n_read_hot)
+        ).astype(np.int64)
+        single_counts = (1 + (self.rng.random(n_singles) < (_COLD_READ_MEAN - 1.0))
+                         ).astype(np.int64)
+
+        # Reconcile the exact read budget by adjusting hit reads (hitting an
+        # already-hot extent never changes the address population).
+        used = int(read_hot_counts.sum() + single_counts.sum())
+        n_hits = n_reads - used
+        while n_hits < 0:
+            # Too many read-only accesses: shave repeats (not addresses).
+            if len(read_hot_counts) and read_hot_counts.max() > _HOT_THRESHOLD:
+                idx = int(np.argmax(read_hot_counts))
+                take = min(-n_hits, int(read_hot_counts[idx]) - _HOT_THRESHOLD)
+                read_hot_counts[idx] -= take
+                n_hits += take
+            elif len(single_counts) and single_counts.max() > 1:
+                idx = int(np.argmax(single_counts))
+                single_counts[idx] -= 1
+                n_hits += 1
+            elif len(single_counts):
+                single_counts = single_counts[:-1]
+                n_hits += 1
+            elif len(read_hot_counts):  # pragma: no cover - tiny traces
+                read_hot_counts = read_hot_counts[:-1]
+                n_hits += _HOT_THRESHOLD
+            else:  # pragma: no cover
+                break
+        n_hits = max(0, n_hits)
+
+        if len(hot_ids) and n_hits:
+            weights = counts[hot_ids].astype(np.float64)
+            weights /= weights.sum()
+            hit_extents = self.rng.choice(hot_ids, size=n_hits, p=weights)
+        elif n_hits:
+            # No hot write extents: absorb the remainder as one read-hot address.
+            read_hot_counts = np.concatenate(
+                [read_hot_counts, np.array([n_hits], dtype=np.int64)])
+            hit_extents = empty
+        else:
+            hit_extents = empty
+        return hit_extents, read_hot_counts, single_counts
+
+    # -- generation --------------------------------------------------------------
+
+    def generate(self) -> Trace:
+        """Build the trace."""
+        n_total = self.n_requests
+        n_writes = min(max(int(round(n_total * self.profile.write_ratio)), 1), n_total)
+        n_reads = n_total - n_writes
+
+        counts, is_hot = self._build_counts(n_writes)
+        sizes = self._build_extent_sizes(counts)
+
+        # Scatter extents over the address space.
+        order = self.rng.permutation(len(sizes))
+        starts = np.zeros(len(sizes), dtype=np.int64)
+        starts[order] = np.concatenate([[0], np.cumsum(sizes[order])[:-1]])
+        footprint = int(sizes.sum())
+        self.extents = ExtentTable(starts, sizes, counts.copy(), is_hot.copy())
+
+        # Temporal locality: every extent gets a window inside the trace;
+        # all of its accesses (writes and read hits) land in that window.
+        window = _LOCALITY_WINDOW
+        ext_base = self.rng.random(len(counts)) * (1.0 - window)
+
+        # Write events: extent ids repeated by count, ordered by their
+        # temporal keys (the k-th key of an extent is its k-th write).
+        write_ids = np.repeat(np.arange(len(counts)), counts)
+        w_keys = ext_base[write_ids] + self.rng.random(n_writes) * window
+        w_offsets = starts[write_ids]
+        w_sizes = sizes[write_ids]
+
+        # Read events.
+        hit_ext, read_hot_counts, single_counts = self._design_reads(
+            n_reads, counts, is_hot)
+        r_offsets_parts: list[np.ndarray] = []
+        r_sizes_parts: list[np.ndarray] = []
+        r_keys_parts: list[np.ndarray] = []
+        if len(hit_ext):
+            hs = np.minimum(self._sample_update_sizes(len(hit_ext)), sizes[hit_ext])
+            r_offsets_parts.append(starts[hit_ext])
+            r_sizes_parts.append(hs)
+            r_keys_parts.append(
+                ext_base[hit_ext] + self.rng.random(len(hit_ext)) * window)
+        ro_cursor = footprint
+        for addr_counts in (read_hot_counts, single_counts):
+            if not len(addr_counts):
+                continue
+            addr_sizes = self._sample_update_sizes(len(addr_counts))
+            addr_starts = ro_cursor + np.concatenate(
+                [[0], np.cumsum(addr_sizes)[:-1]])
+            ro_cursor = int(addr_starts[-1] + addr_sizes[-1])
+            n_events = int(addr_counts.sum())
+            addr_base = self.rng.random(len(addr_counts)) * (1.0 - window)
+            r_offsets_parts.append(np.repeat(addr_starts, addr_counts))
+            r_sizes_parts.append(np.repeat(addr_sizes, addr_counts))
+            r_keys_parts.append(
+                np.repeat(addr_base, addr_counts)
+                + self.rng.random(n_events) * window)
+        if r_offsets_parts:
+            r_offsets = np.concatenate(r_offsets_parts)
+            r_sizes = np.concatenate(r_sizes_parts)
+            r_keys = np.concatenate(r_keys_parts)
+        else:
+            r_offsets = np.zeros(0, dtype=np.int64)
+            r_sizes = np.zeros(0, dtype=np.int64)
+            r_keys = np.zeros(0, dtype=np.float64)
+        if len(r_offsets) != n_reads:  # pragma: no cover - defensive
+            raise TraceError(
+                f"read construction produced {len(r_offsets)} events, wanted {n_reads}")
+
+        # Merge reads and writes by temporal key.
+        all_keys = np.concatenate([w_keys, r_keys])
+        is_write_all = np.concatenate([
+            np.ones(n_writes, dtype=bool), np.zeros(n_reads, dtype=bool)])
+        all_off = np.concatenate([w_offsets, r_offsets])
+        all_sz = np.concatenate([w_sizes, r_sizes])
+        order = np.argsort(all_keys, kind="stable")
+
+        times = np.cumsum(self.rng.exponential(self.mean_interarrival_ms, size=n_total))
+        return Trace(times, is_write_all[order], all_off[order], all_sz[order],
+                     name=self.profile.name)
+
+
+def generate(
+    profile: TraceProfile,
+    n_requests: int | None = None,
+    seed: int | None = None,
+    mean_interarrival_ms: float = 0.25,
+) -> Trace:
+    """Convenience wrapper: build a generator and produce the trace."""
+    return SyntheticTraceGenerator(
+        profile, n_requests=n_requests, seed=seed,
+        mean_interarrival_ms=mean_interarrival_ms,
+    ).generate()

@@ -1,0 +1,98 @@
+"""Size and time unit helpers.
+
+Conventions used across the library:
+
+* **sizes** are plain integers in bytes,
+* **times and latencies** are floats in **milliseconds** (the unit used by
+  Table 2 of the paper),
+* logical space is addressed in 4 KiB *subpages* (LSN) grouped into 16 KiB
+  *logical pages* (LPN).
+"""
+
+from __future__ import annotations
+
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+#: Milliseconds per microsecond.
+US: float = 1e-3
+#: Milliseconds per second.
+SEC: float = 1e3
+
+
+def kib(n: float) -> int:
+    """Return ``n`` KiB expressed in bytes."""
+    return int(n * KIB)
+
+
+def mib(n: float) -> int:
+    """Return ``n`` MiB expressed in bytes."""
+    return int(n * MIB)
+
+
+def gib(n: float) -> int:
+    """Return ``n`` GiB expressed in bytes."""
+    return int(n * GIB)
+
+
+def bytes_to_kib(n: int) -> float:
+    """Return ``n`` bytes expressed in KiB."""
+    return n / KIB
+
+
+def bytes_to_mib(n: int) -> float:
+    """Return ``n`` bytes expressed in MiB."""
+    return n / MIB
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division; ``b`` must be positive."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return (value // alignment) * alignment
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return ceil_div(value, alignment) * alignment
+
+
+def ms_to_us(t_ms: float) -> float:
+    """Convert milliseconds to microseconds."""
+    return t_ms * 1e3
+
+
+def us_to_ms(t_us: float) -> float:
+    """Convert microseconds to milliseconds."""
+    return t_us * 1e-3
+
+
+def fmt_bytes(n: int) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(n)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            if suffix == "B":
+                return f"{int(value)}{suffix}"
+            return f"{value:.2f}{suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_ms(t_ms: float) -> str:
+    """Human-readable latency: microseconds below 1 ms, otherwise ms."""
+    if t_ms < 1.0:
+        return f"{t_ms * 1e3:.2f}us"
+    if t_ms < 1e3:
+        return f"{t_ms:.3f}ms"
+    return f"{t_ms / 1e3:.3f}s"

@@ -1,0 +1,104 @@
+"""Trace analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.traces import generate, profile
+from repro.traces.analysis import (
+    footprint_curve,
+    interarrival_stats,
+    update_interval_ms,
+    write_reuse,
+    write_skew,
+)
+from repro.traces.model import Trace
+
+
+def simple_trace():
+    # Address 0 written at 0, 2, 4; address 4096 once; one read.
+    return Trace(
+        times_ms=[0.0, 1.0, 2.0, 3.0, 4.0],
+        is_write=[True, True, True, False, True],
+        offsets=[0, 4096, 0, 0, 0],
+        sizes=[4096, 4096, 4096, 4096, 4096],
+        name="s",
+    )
+
+
+class TestWriteReuse:
+    def test_gaps(self):
+        stats = write_reuse(simple_trace())
+        assert stats.n_updates == 2
+        assert stats.median_gap == pytest.approx(2.0)
+
+    def test_no_updates(self):
+        trace = Trace([0.0], [True], [0], [4096])
+        assert write_reuse(trace).n_updates == 0
+
+    def test_synthetic_locality(self):
+        trace = generate(profile("ts0"), n_requests=6000, seed=4)
+        stats = write_reuse(trace)
+        assert stats.n_updates > 1000
+        # The 8% locality window keeps most update gaps short.
+        assert stats.near_fraction > 0.7
+
+
+class TestFootprintCurve:
+    def test_monotone(self):
+        trace = generate(profile("ts0"), n_requests=3000, seed=4)
+        _, curve = footprint_curve(trace)
+        assert (np.diff(curve) >= 0).all()
+
+    def test_final_value_counts_unique_bytes(self):
+        _, curve = footprint_curve(simple_trace(), points=5)
+        assert curve[-1] == 8192  # two unique 4K addresses
+
+    def test_points_validated(self):
+        with pytest.raises(ValueError):
+            footprint_curve(simple_trace(), points=0)
+
+
+class TestWriteSkew:
+    def test_uniform_trace_no_skew(self):
+        trace = Trace(
+            [float(i) for i in range(4)], [True] * 4,
+            [i * 4096 for i in range(4)], [4096] * 4)
+        assert write_skew(trace, 0.25) == pytest.approx(0.25)
+
+    def test_hot_trace_skewed(self):
+        trace = generate(profile("ts0"), n_requests=6000, seed=4)
+        skew = write_skew(trace, 0.1)
+        assert skew > 0.2  # heavy-tailed hot counts concentrate traffic
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            write_skew(simple_trace(), 0.0)
+
+    def test_empty_writes(self):
+        trace = Trace([0.0], [False], [0], [4096])
+        assert write_skew(trace) == 0.0
+
+
+class TestTiming:
+    def test_interarrival(self):
+        stats = interarrival_stats(simple_trace())
+        assert stats["mean"] == pytest.approx(1.0)
+        assert stats["median"] == pytest.approx(1.0)
+
+    def test_single_request(self):
+        trace = Trace([0.0], [True], [0], [4096])
+        assert interarrival_stats(trace)["mean"] == 0.0
+
+    def test_update_interval(self):
+        assert update_interval_ms(simple_trace()) == pytest.approx(2.0)
+
+    def test_update_interval_empty(self):
+        trace = Trace([0.0], [False], [0], [4096])
+        assert update_interval_ms(trace) == 0.0
+
+    def test_update_interval_scales_with_interarrival(self):
+        fast = generate(profile("ts0"), n_requests=2000, seed=4,
+                        mean_interarrival_ms=0.1)
+        slow = generate(profile("ts0"), n_requests=2000, seed=4,
+                        mean_interarrival_ms=1.0)
+        assert update_interval_ms(slow) > update_interval_ms(fast) * 5

@@ -1,0 +1,111 @@
+"""Terminal chart rendering."""
+
+import pytest
+
+from repro.metrics.charts import (
+    bar_chart,
+    distribution_chart,
+    grouped_bar_chart,
+    line_chart,
+)
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        text = bar_chart({"a": 4.0, "b": 2.0}, width=8)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 8
+        assert lines[1].count("█") == 4
+
+    def test_labels_aligned(self):
+        text = bar_chart({"short": 1.0, "longer-label": 2.0})
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_values_printed(self):
+        assert "2.8e-04" in bar_chart({"x": 2.8e-4}).replace("2.80e-04", "2.8e-04")
+
+    def test_title(self):
+        assert bar_chart({"a": 1.0}, title="T").startswith("T\n")
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart({})
+
+    def test_zero_values(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "█" not in text
+
+    def test_fractional_glyphs(self):
+        text = bar_chart({"a": 8.0, "b": 1.0}, width=4)
+        # b = 1/8 of max = 0.5 cells -> one half-block glyph.
+        assert any(g in text for g in "▏▎▍▌▋▊▉")
+
+
+class TestGroupedBarChart:
+    def test_shared_scale(self):
+        text = grouped_bar_chart(
+            {"t1": {"a": 10.0}, "t2": {"a": 5.0}}, width=10)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_group_headers(self):
+        text = grouped_bar_chart({"ts0": {"ipu": 1.0}})
+        assert "ts0" in text.splitlines()[0]
+
+    def test_empty(self):
+        assert "(no data)" in grouped_bar_chart({})
+
+
+class TestLineChart:
+    def test_markers_present(self):
+        text = line_chart({"abc": [1, 2, 3], "xyz": [3, 2, 1]})
+        assert "a" in text
+        assert "x" in text
+        assert "a=abc" in text
+
+    def test_marker_collision_resolved(self):
+        text = line_chart({"aa": [1, 2], "ab": [2, 1]})
+        assert "a=aa" in text
+        assert "b=ab" in text
+
+    def test_crossing_series_overlap_star(self):
+        text = line_chart({"up": [0, 10], "dn": [10, 0]}, width=21, height=5)
+        assert "*" not in text or text.count("*") <= 2
+
+    def test_axis_labels(self):
+        text = line_chart({"s": [1, 2]}, x_labels=[1000, 8000])
+        assert "1000" in text
+        assert "8000" in text
+
+    def test_log_scale_spans_decades(self):
+        text = line_chart({"r": [1e-5, 1e-3]}, log_y=True)
+        assert "1.00e-05" in text
+        assert "1.00e-03" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2], "b": [1]})
+
+    def test_flat_series(self):
+        text = line_chart({"f": [5.0, 5.0, 5.0]})
+        assert "f" in text
+
+    def test_empty(self):
+        assert "(no data)" in line_chart({})
+
+
+class TestDistributionChart:
+    def test_bands_fill_row(self):
+        text = distribution_chart(
+            {"ipu": {"<0.1ms": 0.5, ">=0.1ms": 0.5}}, width=10)
+        row = text.splitlines()[0]
+        assert row.count("░") == 5
+        assert row.count("▒") == 5
+
+    def test_legend(self):
+        text = distribution_chart({"x": {"fast": 1.0}})
+        assert "░=fast" in text
+
+    def test_empty(self):
+        assert "(no data)" in distribution_chart({})

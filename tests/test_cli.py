@@ -1,0 +1,61 @@
+"""CLI surface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert capsys.readouterr().out.strip()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "table1" in out
+
+    def test_traces(self, capsys):
+        assert main(["traces"]) == 0
+        out = capsys.readouterr().out
+        assert "ts0" in out
+        assert "82.4%" in out
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2", "--scale", "smoke", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Erase time" in out
+
+    def test_run_fig2(self, capsys):
+        assert main(["run", "fig2", "--scale", "smoke", "--seed", "3"]) == 0
+        assert "2.800e-04" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--trace", "ts0", "--scheme", "ipu",
+                     "--scale", "smoke", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "avg_latency_ms" in out
+
+    def test_simulate_closed_loop(self, capsys):
+        assert main(["simulate", "--trace", "ts0", "--scheme", "mga",
+                     "--scale", "smoke", "--seed", "3", "--qd", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "KIOPS" in out
+        assert "closed loop" in out
+
+    def test_simulate_delta_scheme(self, capsys):
+        assert main(["simulate", "--trace", "ads", "--scheme", "delta",
+                     "--scale", "smoke", "--seed", "3"]) == 0
+        assert "delta" in capsys.readouterr().out

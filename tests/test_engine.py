@@ -1,0 +1,109 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        engine = Engine()
+        log = []
+        engine.schedule(2.0, lambda: log.append("b"))
+        engine.schedule(1.0, lambda: log.append("a"))
+        engine.schedule(3.0, lambda: log.append("c"))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(5.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [5.0]
+        assert engine.now == 5.0
+
+    def test_priority_breaks_ties(self):
+        engine = Engine()
+        log = []
+        engine.schedule(1.0, lambda: log.append("low"), priority=1)
+        engine.schedule(1.0, lambda: log.append("high"), priority=0)
+        engine.run()
+        assert log == ["high", "low"]
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        engine = Engine()
+        log = []
+        engine.schedule(1.0, lambda: log.append(1))
+        engine.schedule(1.0, lambda: log.append(2))
+        engine.run()
+        assert log == [1, 2]
+
+    def test_handler_can_schedule(self):
+        engine = Engine()
+        log = []
+
+        def first():
+            log.append("first")
+            engine.schedule_after(1.0, lambda: log.append("second"))
+
+        engine.schedule(0.0, first)
+        engine.run()
+        assert log == ["first", "second"]
+        assert engine.now == 1.0
+
+    def test_past_scheduling_rejected(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, lambda: None)
+
+
+class TestRun:
+    def test_until_bound(self):
+        engine = Engine()
+        log = []
+        engine.schedule(1.0, lambda: log.append(1))
+        engine.schedule(10.0, lambda: log.append(10))
+        engine.run(until=5.0)
+        assert log == [1]
+        assert engine.now == 5.0
+        assert engine.pending == 1
+
+    def test_resume_after_until(self):
+        engine = Engine()
+        log = []
+        engine.schedule(10.0, lambda: log.append(10))
+        engine.run(until=5.0)
+        engine.run()
+        assert log == [10]
+
+    def test_step(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        assert engine.step() is True
+        assert engine.step() is False
+
+    def test_processed_counter(self):
+        engine = Engine()
+        for i in range(5):
+            engine.schedule(float(i), lambda: None)
+        engine.run()
+        assert engine.processed == 5
+
+    def test_reentrant_run_rejected(self):
+        engine = Engine()
+
+        def nested():
+            engine.run()
+
+        engine.schedule(0.0, nested)
+        with pytest.raises(SimulationError):
+            engine.run()

@@ -1,0 +1,27 @@
+"""Every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "scheme_comparison", "hot_data_lifecycle",
+            "wear_study", "replay_msr", "cache_dynamics",
+            "custom_device"} <= names

@@ -1,0 +1,155 @@
+"""Cross-scheme integration: replay one workload through all three FTLs
+and check the qualitative relationships the paper reports.
+
+These use a mid-size synthetic workload on a small device (bigger than the
+unit-test fixtures, far smaller than the benchmark scale), so the asserted
+orderings are the robust ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SCHEMES, Simulator
+from repro.experiments.runner import RunContext
+from repro.traces import generate, profile
+
+
+@pytest.fixture(scope="module")
+def context():
+    return RunContext(scale="smoke", seed=21)
+
+
+@pytest.fixture(scope="module")
+def results(context):
+    out = {}
+    for scheme in ("baseline", "mga", "ipu"):
+        result = context.run("ts0", scheme)
+        # The context memoises results but not FTL instances; rebuild one
+        # replay to inspect FTL state directly.
+        ftl = SCHEMES[scheme](context.trace_config("ts0"))
+        Simulator(ftl).run(context.trace("ts0"))
+        out[scheme] = (ftl, result)
+    return out
+
+
+class TestCorrectness:
+    def test_mapping_consistency_after_replay(self, results):
+        for scheme, (ftl, _) in results.items():
+            ftl.check_consistency()
+
+    def test_every_written_lsn_mapped(self, results, context):
+        trace = context.trace("ts0")
+        written = set()
+        for i in range(len(trace)):
+            if trace.is_write[i]:
+                start = int(trace.offsets[i]) // 4096
+                n = int(trace.sizes[i]) // 4096
+                written.update(range(start, start + n))
+        for scheme, (ftl, _) in results.items():
+            missing = [lsn for lsn in written if ftl.lookup(lsn) is None]
+            assert not missing, f"{scheme} lost {len(missing)} subpages"
+
+    def test_no_lsn_double_mapped(self, results):
+        for scheme, (ftl, _) in results.items():
+            seen = {}
+            for lsn, ppa in ftl.iter_bindings():
+                assert ppa not in seen.values()
+                assert lsn not in seen
+                seen[lsn] = ppa
+
+    def test_gc_happened_everywhere(self, results):
+        for scheme, (_, r) in results.items():
+            assert r.erases_slc > 0, f"{scheme} never collected"
+
+
+class TestPaperOrderings:
+    def test_fig5_baseline_worst_latency(self, results):
+        base = results["baseline"][1].avg_latency_ms
+        assert results["ipu"][1].avg_latency_ms < base
+        assert results["mga"][1].avg_latency_ms < base
+
+    def test_fig8_error_rate_ordering(self, results):
+        """Baseline < IPU < MGA (IPU nearly eliminates the partial-
+        programming penalty; MGA pays it in full)."""
+        base = results["baseline"][1].read_error_rate
+        ipu = results["ipu"][1].read_error_rate
+        mga = results["mga"][1].read_error_rate
+        assert base <= ipu < mga
+
+    def test_fig8_ipu_penalty_small(self, results):
+        base = results["baseline"][1].read_error_rate
+        ipu = results["ipu"][1].read_error_rate
+        mga = results["mga"][1].read_error_rate
+        # IPU's increase is a small fraction of MGA's (paper: 3.5% vs 14%).
+        assert (ipu - base) < 0.5 * (mga - base)
+
+    def test_fig9_utilization_ordering(self, results):
+        base = results["baseline"][1].slc_page_utilization
+        ipu = results["ipu"][1].slc_page_utilization
+        mga = results["mga"][1].slc_page_utilization
+        assert base < ipu < mga
+        assert mga > 0.95
+
+    def test_fig10a_slc_erase_ordering(self, results):
+        base = results["baseline"][1].erases_slc
+        ipu = results["ipu"][1].erases_slc
+        mga = results["mga"][1].erases_slc
+        assert mga < ipu <= base
+
+    def test_fig6_ipu_keeps_writes_out_of_mlc(self, results):
+        base = (results["baseline"][1].host_subpages_mlc
+                + results["baseline"][1].evicted_subpages_to_mlc)
+        ipu = (results["ipu"][1].host_subpages_mlc
+               + results["ipu"][1].evicted_subpages_to_mlc)
+        assert ipu < base
+
+    def test_ipu_disturbs_no_valid_in_page_data(self, results):
+        """The headline mechanism: IPU's partial passes never hit live
+        in-page data; MGA's do."""
+        assert results["ipu"][0].flash.disturbed_valid_subpages == 0
+        assert results["mga"][0].flash.disturbed_valid_subpages > 0
+
+    def test_ipu_uses_all_three_levels(self, results):
+        levels = results["ipu"][1].level_writes
+        assert levels.get(1, 0) > 0
+        assert levels.get(2, 0) > 0
+        assert levels.get(3, 0) > 0
+
+    def test_fig7_work_is_plurality(self, results):
+        levels = results["ipu"][1].level_writes
+        work, monitor, hot = (levels.get(k, 0) for k in (1, 2, 3))
+        assert work > monitor and work > hot
+
+    def test_fig7_hot_exceeds_monitor(self, results):
+        """Paper: Hot (~32.9%) well above Monitor (the transit level)."""
+        levels = results["ipu"][1].level_writes
+        assert levels.get(3, 0) > levels.get(2, 0)
+
+    def test_intra_page_updates_dominate_updates(self, results):
+        r = results["ipu"][1]
+        assert r.intra_page_updates > 0
+        assert r.intra_page_updates > 0.3 * r.update_writes
+
+    def test_fig11_memory_ordering(self, results):
+        base = results["baseline"][1].mapping_table_bytes
+        ipu = results["ipu"][1].mapping_table_bytes
+        mga = results["mga"][1].mapping_table_bytes
+        assert base < ipu < mga
+
+    def test_fig12_isr_scan_budget(self, results):
+        """Paper: the ISR search stays under 2.48 ms."""
+        r = results["ipu"][1]
+        assert r.gc_scans > 0
+        assert r.gc_scan_seconds / r.gc_scans < 2.48e-3
+
+
+class TestWearSweep:
+    def test_error_and_latency_grow_with_pe(self, context):
+        """Figures 13/14: both metrics increase with device age."""
+        errors, latencies = [], []
+        for pe in (1000, 4000, 8000):
+            result = context.run("ts0", "ipu", pe=pe)
+            errors.append(result.read_error_rate)
+            latencies.append(result.avg_read_latency_ms)
+        assert errors[0] < errors[1] < errors[2]
+        assert latencies[0] < latencies[1] < latencies[2]

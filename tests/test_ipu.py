@@ -1,0 +1,163 @@
+"""IPU scheme: intra-page updates, level hierarchy, degraded movement."""
+
+import pytest
+
+from repro import IPUFTL
+from repro.ftl.levels import BlockLevel
+from repro.sim.ops import Cause, OpKind
+
+from conftest import tiny_config
+
+
+@pytest.fixture
+def ftl():
+    return IPUFTL(tiny_config())
+
+
+class TestNewData:
+    def test_lands_in_work_block(self, ftl):
+        ftl.handle_write([0], 0.0)
+        ppa = ftl.lookup(0)
+        assert ftl.flash.block(ppa.block).level == int(BlockLevel.WORK)
+        assert ftl.stats.level_writes[int(BlockLevel.WORK)] == 1
+
+    def test_chunk_compact_at_slot_zero(self, ftl):
+        ftl.handle_write([8, 9], 0.0)
+        assert ftl.lookup(8).slot == 0
+        assert ftl.lookup(9).slot == 1
+
+    def test_pages_not_shared_between_requests(self, ftl):
+        ftl.handle_write([0], 0.0)
+        ftl.handle_write([100], 1.0)
+        a, b = ftl.lookup(0), ftl.lookup(100)
+        assert (a.block, a.page) != (b.block, b.page)
+
+
+class TestIntraPageUpdate:
+    def test_update_stays_in_page(self, ftl):
+        ftl.handle_write([0], 0.0)
+        before = ftl.lookup(0)
+        ftl.handle_write([0], 1.0)
+        after = ftl.lookup(0)
+        assert (after.block, after.page) == (before.block, before.page)
+        assert after.slot == before.slot + 1
+        assert ftl.stats.intra_page_updates == 1
+
+    def test_old_slot_invalidated_before_partial_pass(self, ftl):
+        """The paper's key claim: in-page disturb only hits invalid data."""
+        ftl.handle_write([0], 0.0)
+        ftl.handle_write([0], 1.0)
+        assert ftl.flash.partial_programs == 1
+        assert ftl.flash.disturbed_valid_subpages == 0
+
+    def test_page_marked_updated(self, ftl):
+        ftl.handle_write([0], 0.0)
+        ppa = ftl.lookup(0)
+        ftl.handle_write([0], 1.0)
+        assert ftl.flash.block(ppa.block).page_updated[ppa.page]
+
+    def test_two_subpage_update_in_page(self, ftl):
+        ftl.handle_write([0, 1], 0.0)
+        ftl.handle_write([0, 1], 1.0)
+        assert ftl.stats.intra_page_updates == 1
+        assert ftl.lookup(0).slot == 2
+        assert ftl.lookup(1).slot == 3
+
+    def test_partial_transfer_is_small(self, ftl):
+        ftl.handle_write([0], 0.0)
+        ops = ftl.handle_write([0], 1.0)
+        program = next(o for o in ops if o.kind is OpKind.PROGRAM)
+        assert program.channel_slots == 1
+
+
+class TestUpgradeMovement:
+    def test_overflow_promotes_to_monitor(self, ftl):
+        ftl.handle_write([0, 1], 0.0)   # slots 0,1
+        ftl.handle_write([0, 1], 1.0)   # slots 2,3 (intra-page)
+        ftl.handle_write([0, 1], 2.0)   # overflow -> Monitor
+        ppa = ftl.lookup(0)
+        assert ftl.flash.block(ppa.block).level == int(BlockLevel.MONITOR)
+        assert ftl.stats.upgrade_moves == 1
+
+    def test_monitor_promotes_to_hot(self, ftl):
+        for t in range(3):
+            ftl.handle_write([0, 1], float(t))   # reaches Monitor
+        for t in range(3, 5):
+            ftl.handle_write([0, 1], float(t))   # fills Monitor page, overflow
+        ppa = ftl.lookup(0)
+        assert ftl.flash.block(ppa.block).level == int(BlockLevel.HOT)
+
+    def test_hot_stays_hot(self, ftl):
+        for t in range(12):
+            ftl.handle_write([0, 1], float(t))
+        ppa = ftl.lookup(0)
+        assert ftl.flash.block(ppa.block).level == int(BlockLevel.HOT)
+
+    def test_single_subpage_takes_three_updates_in_page(self, ftl):
+        ftl.handle_write([0], 0.0)
+        for t in range(1, 4):
+            ftl.handle_write([0], float(t))
+        assert ftl.stats.intra_page_updates == 3
+        assert ftl.stats.upgrade_moves == 0
+        ftl.handle_write([0], 4.0)  # fourth update overflows
+        assert ftl.stats.upgrade_moves == 1
+
+    def test_no_second_level_mapping_needed(self, ftl):
+        """An SLC page only ever holds one request chunk's data."""
+        for i in range(40):
+            ftl.handle_write([i * 4], float(i))
+        for block in ftl.flash.region_blocks(True):
+            for page in range(block.next_page):
+                lsns = {int(block.slot_lsn[page, s])
+                        for s in block.valid_slots_of_page(page)}
+                assert len(lsns) <= 1 or (
+                    max(lsns) - min(lsns) < ftl.geometry.subpages_per_page)
+
+
+class TestGCMovement:
+    def fill(self, ftl, n=4000):
+        lsn = 0
+        for i in range(n):
+            ftl.handle_write([lsn], float(i) * 0.5)
+            lsn += 4
+            if ftl.flash.erases_slc > 4:
+                break
+        return lsn
+
+    def test_data_preserved_across_gc(self, ftl):
+        last = self.fill(ftl)
+        assert ftl.flash.erases_slc > 0
+        for lsn in range(0, last, 4):
+            assert ftl.lookup(lsn) is not None
+        ftl.check_consistency()
+
+    def test_cold_work_data_demotes_to_mlc(self, ftl):
+        self.fill(ftl)
+        assert ftl.stats.evicted_subpages_to_mlc > 0
+
+    def test_isr_policy_in_use(self, ftl):
+        from repro.ftl.victim import IsrVictimPolicy
+        assert isinstance(ftl.slc_gc.policy, IsrVictimPolicy)
+
+    def test_relocated_page_resets_updated_flag(self, ftl):
+        self.fill(ftl)
+        # Every page that was just relocated (GC cause) starts unupdated;
+        # sample live mappings and confirm flag consistency is possible.
+        ftl.check_consistency()
+
+    def test_updated_pages_stay_in_slc(self, ftl):
+        """A page updated in its block moves to a same-level SLC block
+        during GC rather than being evicted."""
+        # Keep one datum hot while filling the cache with cold data.
+        hot_lsn = 10_000 * 4
+        ftl.handle_write([hot_lsn], 0.0)
+        lsn, t = 0, 1.0
+        while ftl.flash.erases_slc < 6:
+            ftl.handle_write([lsn], t)
+            lsn += 4
+            t += 0.5
+            ftl.handle_write([hot_lsn], t)  # keeps updating -> stays hot
+            t += 0.5
+        ppa = ftl.lookup(hot_lsn)
+        assert ftl.flash.block(ppa.block).mode.is_slc
+        ftl.check_consistency()

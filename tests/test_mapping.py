@@ -1,0 +1,82 @@
+"""Mapping tables."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.ftl.mapping import PageMap, SubpageMap
+from repro.nand.geometry import PPA
+
+
+class TestPageMap:
+    def test_lookup_missing(self):
+        assert PageMap().lookup(0) is None
+
+    def test_bind_lookup(self):
+        pm = PageMap()
+        pm.bind(5, 3, 7)
+        assert pm.lookup(5) == (3, 7)
+
+    def test_rebind_replaces(self):
+        pm = PageMap()
+        pm.bind(5, 3, 7)
+        pm.bind(5, 4, 0)
+        assert pm.lookup(5) == (4, 0)
+        assert len(pm) == 1
+
+    def test_unbind(self):
+        pm = PageMap()
+        pm.bind(5, 3, 7)
+        pm.unbind(5)
+        assert pm.lookup(5) is None
+
+    def test_unbind_missing_rejected(self):
+        with pytest.raises(MappingError):
+            PageMap().unbind(5)
+
+    def test_negative_lpn_rejected(self):
+        with pytest.raises(MappingError):
+            PageMap().bind(-1, 0, 0)
+
+    def test_contains_and_items(self):
+        pm = PageMap()
+        pm.bind(1, 2, 3)
+        assert 1 in pm
+        assert 2 not in pm
+        assert dict(pm.items()) == {1: (2, 3)}
+
+
+class TestSubpageMap:
+    def test_lookup_missing(self):
+        assert SubpageMap().lookup(0) is None
+
+    def test_bind_lookup(self):
+        sm = SubpageMap()
+        sm.bind(9, PPA(1, 2, 3))
+        assert sm.lookup(9) == PPA(1, 2, 3)
+
+    def test_rebind_replaces(self):
+        sm = SubpageMap()
+        sm.bind(9, PPA(1, 2, 3))
+        sm.bind(9, PPA(4, 5, 0))
+        assert sm.lookup(9) == PPA(4, 5, 0)
+        assert len(sm) == 1
+
+    def test_unbind(self):
+        sm = SubpageMap()
+        sm.bind(9, PPA(1, 2, 3))
+        sm.unbind(9)
+        assert 9 not in sm
+
+    def test_unbind_missing_rejected(self):
+        with pytest.raises(MappingError):
+            SubpageMap().unbind(9)
+
+    def test_negative_lsn_rejected(self):
+        with pytest.raises(MappingError):
+            SubpageMap().bind(-1, PPA(0, 0, 0))
+
+    def test_items(self):
+        sm = SubpageMap()
+        sm.bind(1, PPA(0, 0, 1))
+        sm.bind(2, PPA(0, 0, 2))
+        assert dict(sm.items()) == {1: PPA(0, 0, 1), 2: PPA(0, 0, 2)}

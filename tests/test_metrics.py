@@ -1,0 +1,109 @@
+"""Metric models: mapping memory, latency helpers, report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.config import paper_config
+from repro.errors import ExperimentError
+from repro.metrics.latency import latency_distribution, percentile_summary
+from repro.metrics.memory import mapping_breakdown
+from repro.metrics.report import format_comparison, format_table
+
+
+class TestMappingMemory:
+    def test_baseline_is_page_table_only(self):
+        b = mapping_breakdown("baseline", paper_config())
+        assert b.second_level_bytes == 0
+        assert b.label_bytes == 0
+        assert b.metadata_bytes == 0
+        assert b.mapping_bytes == b.page_table_bytes
+
+    def test_mga_overhead_near_paper(self):
+        cfg = paper_config()
+        base = mapping_breakdown("baseline", cfg)
+        mga = mapping_breakdown("mga", cfg)
+        # Paper: +23.7%; our entry-size model lands within a few points.
+        assert 1.15 < mga.normalized_to(base) < 1.30
+
+    def test_ipu_overhead_near_paper(self):
+        cfg = paper_config()
+        base = mapping_breakdown("baseline", cfg)
+        ipu = mapping_breakdown("ipu", cfg)
+        # Paper: +0.84%.
+        assert 1.003 < ipu.normalized_to(base) < 1.02
+
+    def test_ipu_label_bytes_match_paper_arithmetic(self):
+        """Section 4.4.1: 2 bits x 5% x 65536 blocks = 820 B."""
+        b = mapping_breakdown("ipu", paper_config())
+        assert b.label_bytes == pytest.approx(820, rel=0.01)
+
+    def test_ipu_isr_metadata_matches_paper_arithmetic(self):
+        """Section 4.4.1: 4 B x 5% x 65536 x 64 pages = 819.2 KB."""
+        b = mapping_breakdown("ipu", paper_config())
+        assert b.metadata_bytes == pytest.approx(819.2e3, rel=0.03)
+
+    def test_ordering(self):
+        cfg = paper_config()
+        sizes = {s: mapping_breakdown(s, cfg).mapping_bytes
+                 for s in ("baseline", "ipu", "mga")}
+        assert sizes["baseline"] < sizes["ipu"] < sizes["mga"]
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ExperimentError):
+            mapping_breakdown("nope", paper_config())
+
+
+class TestLatencyHelpers:
+    def test_percentiles(self):
+        summary = percentile_summary(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["p50"] == pytest.approx(2.5)
+        assert summary["max"] == 4.0
+
+    def test_percentiles_empty(self):
+        assert percentile_summary(np.array([])) == {
+            "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+
+    def test_distribution_sums_to_one(self):
+        dist = latency_distribution(np.array([0.05, 0.2, 0.7, 2.0, 9.0]))
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert dist["<0.1ms"] == pytest.approx(0.2)
+        assert dist[">=5.0ms"] == pytest.approx(0.2)
+
+    def test_distribution_custom_edges(self):
+        dist = latency_distribution(np.array([1.0, 3.0]), edges_ms=[2.0])
+        assert dist["<2.0ms"] == pytest.approx(0.5)
+
+    def test_distribution_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            latency_distribution(np.array([1.0]), edges_ms=[2.0, 1.0])
+
+    def test_distribution_empty(self):
+        dist = latency_distribution(np.array([]))
+        assert all(v == 0.0 for v in dist.values())
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table([
+            {"a": 1, "b": "xx"},
+            {"a": 22, "b": "y"},
+        ], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_comparison(self):
+        text = format_comparison({"baseline": 2.0, "ipu": 1.5}, "baseline")
+        assert "-25.0%" in text
+
+    def test_format_comparison_missing_reference(self):
+        with pytest.raises(KeyError):
+            format_comparison({"a": 1.0}, "b")
+
+    def test_small_floats_scientific(self):
+        text = format_table([{"x": 2.8e-4}])
+        assert "2.800e-04" in text

@@ -1,0 +1,86 @@
+"""Operation records and the latency model."""
+
+import pytest
+
+from repro.config import SSDConfig
+from repro.sim.ops import Cause, OpKind, OpRecord
+from repro.sim.timing import TimingModel
+
+from conftest import tiny_config
+
+
+def op(kind=OpKind.READ, slc=True, n_slots=1, cause=Cause.HOST,
+       ecc_ms=0.0, transfer_slots=0):
+    return OpRecord(kind=kind, block_id=0, page=0, n_slots=n_slots,
+                    is_slc=slc, cause=cause, ecc_ms=ecc_ms,
+                    transfer_slots=transfer_slots)
+
+
+@pytest.fixture
+def timing():
+    return TimingModel(tiny_config())
+
+
+class TestOpRecord:
+    def test_is_host(self):
+        assert op(cause=Cause.HOST).is_host
+        assert not op(cause=Cause.GC).is_host
+
+    def test_channel_slots_defaults_to_n_slots(self):
+        assert op(n_slots=3).channel_slots == 3
+
+    def test_channel_slots_override(self):
+        assert op(n_slots=1, transfer_slots=4).channel_slots == 4
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ValueError):
+            op(n_slots=-1)
+
+    def test_negative_ecc_rejected(self):
+        with pytest.raises(ValueError):
+            op(ecc_ms=-0.1)
+
+    def test_frozen(self):
+        record = op()
+        with pytest.raises(Exception):
+            record.ecc_ms = 1.0
+
+
+class TestTiming:
+    def test_erase_duration(self, timing):
+        assert timing.duration_ms(op(kind=OpKind.ERASE, n_slots=0)) == 10.0
+
+    def test_slc_program(self, timing):
+        t = timing.config.timing
+        expected = t.transfer_ms_per_subpage * 2 + t.slc_write_ms
+        assert timing.duration_ms(
+            op(kind=OpKind.PROGRAM, n_slots=2)) == pytest.approx(expected)
+
+    def test_mlc_program_slower(self, timing):
+        slc = timing.duration_ms(op(kind=OpKind.PROGRAM, slc=True))
+        mlc = timing.duration_ms(op(kind=OpKind.PROGRAM, slc=False))
+        assert mlc - slc == pytest.approx(0.9 - 0.3)
+
+    def test_full_page_transfer_costs_more(self, timing):
+        partial = timing.duration_ms(op(kind=OpKind.PROGRAM, n_slots=1))
+        full = timing.duration_ms(
+            op(kind=OpKind.PROGRAM, n_slots=1, transfer_slots=4))
+        t = timing.config.timing
+        assert full - partial == pytest.approx(3 * t.transfer_ms_per_subpage)
+
+    def test_read_includes_ecc(self, timing):
+        base = timing.duration_ms(op())
+        with_ecc = timing.duration_ms(op(ecc_ms=0.05))
+        assert with_ecc - base == pytest.approx(0.05)
+
+    def test_slc_read_faster(self, timing):
+        slc = timing.duration_ms(op(slc=True))
+        mlc = timing.duration_ms(op(slc=False))
+        assert mlc - slc == pytest.approx(0.05 - 0.025)
+
+    def test_pseudo_read_helpers(self, timing):
+        ecc = timing.pseudo_read_ecc_ms()
+        assert 0.0005 <= ecc <= 0.0968
+        errors = timing.pseudo_read_raw_errors(2)
+        assert errors > 0
+        assert errors == pytest.approx(2 * timing.pseudo_read_raw_errors(1))

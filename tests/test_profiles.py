@@ -1,0 +1,65 @@
+"""Published trace profiles (Tables 1 and 3)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.profiles import PROFILES, TRACE_NAMES, TraceProfile, profile
+from repro.units import KIB
+
+
+class TestTableValues:
+    def test_six_traces(self):
+        assert len(PROFILES) == 6
+
+    def test_table3_order(self):
+        assert TRACE_NAMES == ("ts0", "wdev0", "lun1", "usr0", "lun2", "ads")
+
+    def test_write_ratio_descending(self):
+        ratios = [PROFILES[n].write_ratio for n in TRACE_NAMES]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_ts0_row(self):
+        p = profile("ts0")
+        assert p.n_requests == 1_801_734
+        assert p.write_ratio == pytest.approx(0.824)
+        assert p.mean_write_bytes == 8 * KIB
+        assert p.hot_write_ratio == pytest.approx(0.505)
+
+    def test_lun2_table1_row(self):
+        p = profile("lun2")
+        assert p.update_size_probs == (0.926, 0.025, 0.049)
+
+    def test_buckets_sum_to_one(self):
+        for p in PROFILES.values():
+            assert sum(p.update_size_probs) == pytest.approx(1.0, abs=0.02)
+
+    def test_small_updates_dominate(self):
+        """Table 1's headline: >=66.3% of updates are <=4K."""
+        for p in PROFILES.values():
+            assert p.update_size_probs[0] >= 0.66
+
+
+class TestValidation:
+    def test_lookup_unknown(self):
+        with pytest.raises(TraceError):
+            profile("nope")
+
+    def test_bad_write_ratio(self):
+        with pytest.raises(TraceError):
+            TraceProfile("x", 10, 1.5, 8192, 0.2, (1.0, 0.0, 0.0)).validate()
+
+    def test_bad_bucket_sum(self):
+        with pytest.raises(TraceError):
+            TraceProfile("x", 10, 0.5, 8192, 0.2, (0.5, 0.1, 0.1)).validate()
+
+    def test_bad_request_count(self):
+        with pytest.raises(TraceError):
+            TraceProfile("x", 0, 0.5, 8192, 0.2, (1.0, 0.0, 0.0)).validate()
+
+    def test_bad_hot_ratio(self):
+        with pytest.raises(TraceError):
+            TraceProfile("x", 10, 0.5, 8192, 1.2, (1.0, 0.0, 0.0)).validate()
+
+    def test_tiny_write_size(self):
+        with pytest.raises(TraceError):
+            TraceProfile("x", 10, 0.5, 100, 0.2, (1.0, 0.0, 0.0)).validate()

@@ -1,0 +1,60 @@
+"""Deterministic RNG derivation."""
+
+import numpy as np
+
+from repro.rng import DEFAULT_SEED, derive_seed, make_rng, spawn
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_key_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_root_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_64_bit_range(self):
+        value = derive_seed(123456789, "trace:ts0")
+        assert 0 <= value < 2 ** 64
+
+
+class TestMakeRng:
+    def test_reproducible(self):
+        a = make_rng(7, "x").random(5)
+        b = make_rng(7, "x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_streams_independent(self):
+        a = make_rng(7, "x").random(5)
+        b = make_rng(7, "y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_none_uses_default_seed(self):
+        a = make_rng(None).random(3)
+        b = make_rng(DEFAULT_SEED).random(3)
+        assert np.array_equal(a, b)
+
+    def test_empty_key_is_root(self):
+        a = make_rng(3).random(3)
+        b = make_rng(3, "").random(3)
+        assert np.array_equal(a, b)
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn(make_rng(1), 4)
+        assert len(children) == 4
+
+    def test_spawn_children_differ(self):
+        children = spawn(make_rng(1), 2)
+        assert not np.array_equal(children[0].random(4), children[1].random(4))
+
+    def test_spawn_zero(self):
+        assert spawn(make_rng(1), 0) == []
+
+    def test_spawn_negative_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            spawn(make_rng(1), -1)

@@ -1,0 +1,111 @@
+"""Experiment runner: sizing, pacing, memoisation details."""
+
+import pytest
+
+from repro.config import SCALES
+from repro.experiments.runner import (
+    CACHE_OVER_HOTSET,
+    MLC_OVER_FOOTPRINT,
+    RunContext,
+    estimate_interarrival_ms,
+)
+from repro.traces.profiles import PROFILES, profile
+from repro.traces.synth import SyntheticTraceGenerator
+
+
+class TestPacing:
+    def test_write_heavy_paced_slower(self):
+        ctx = RunContext(scale="smoke")
+        cfg = ctx.config()
+        ts0 = estimate_interarrival_ms(profile("ts0"), cfg)
+        ads = estimate_interarrival_ms(profile("ads"), cfg)
+        assert ts0 > ads  # writes cost more chip time than reads
+
+    def test_more_chips_means_faster_pacing(self):
+        smoke = RunContext(scale="smoke").config()
+        medium = RunContext(scale="medium").config()
+        p = profile("ts0")
+        assert (estimate_interarrival_ms(p, medium)
+                < estimate_interarrival_ms(p, smoke))
+
+    def test_utilization_knob(self):
+        cfg = RunContext(scale="smoke").config()
+        p = profile("ts0")
+        light = estimate_interarrival_ms(p, cfg, utilization=0.1)
+        heavy = estimate_interarrival_ms(p, cfg, utilization=0.5)
+        assert light > heavy
+
+    def test_floor(self):
+        cfg = RunContext(scale="medium").config()
+        assert estimate_interarrival_ms(profile("ads"), cfg,
+                                        utilization=1e9) == 0.02
+
+
+class TestDeviceSizing:
+    def test_cache_tracks_hot_set(self):
+        ctx = RunContext(scale="smoke", seed=1)
+        cfg = ctx.trace_config("ts0")
+        gen = SyntheticTraceGenerator(
+            profile("ts0"), n_requests=min(6000, ctx.trace_requests("ts0")),
+            seed=1)
+        gen.generate()
+        scale_f = ctx.trace_requests("ts0") / min(6000, ctx.trace_requests("ts0"))
+        hotset = float(gen.extents.sizes[gen.extents.is_hot].sum()) * scale_f
+        # Cache within a factor of ~2 of the target ratio (rounding to
+        # whole blocks per plane).
+        assert cfg.slc_capacity_bytes >= CACHE_OVER_HOTSET * hotset * 0.5
+
+    def test_mlc_exceeds_page_footprint(self):
+        ctx = RunContext(scale="smoke", seed=1)
+        for name in ("ts0", "ads"):
+            cfg = ctx.trace_config(name)
+            gen = SyntheticTraceGenerator(
+                profile(name),
+                n_requests=min(6000, ctx.trace_requests(name)), seed=1)
+            gen.generate()
+            scale_f = (ctx.trace_requests(name)
+                       / min(6000, ctx.trace_requests(name)))
+            footprint = gen.extents.page_footprint_bytes() * scale_f
+            assert cfg.mlc_capacity_bytes >= footprint
+
+    def test_config_memoised(self):
+        ctx = RunContext(scale="smoke", seed=1)
+        assert ctx.trace_config("ts0") is ctx.trace_config("ts0")
+
+    def test_pe_override_changes_reliability_only(self):
+        ctx = RunContext(scale="smoke", seed=1)
+        base = ctx.trace_config("ts0")
+        aged = ctx.trace_config("ts0", pe=8000)
+        assert aged.reliability.initial_pe_cycles == 8000
+        assert aged.geometry == base.geometry
+
+    def test_blocks_divisible_by_planes(self):
+        ctx = RunContext(scale="smoke", seed=1)
+        for name in PROFILES:
+            cfg = ctx.trace_config(name)
+            assert cfg.geometry.total_blocks % cfg.geometry.planes == 0
+
+
+class TestTraceRequests:
+    def test_respects_scale_target(self):
+        ctx = RunContext(scale="smoke", seed=1)
+        assert ctx.trace_requests("ts0") == SCALES["smoke"].target_requests
+
+    def test_length_factor(self):
+        full = RunContext(scale="smoke", seed=1)
+        short = RunContext(scale="smoke", seed=1, length_factor=0.5)
+        assert short.trace_requests("ts0") == full.trace_requests("ts0") // 2
+
+    def test_paper_scale_uses_published_counts(self):
+        ctx = RunContext(scale="paper", seed=1)
+        assert ctx.trace_requests("wdev0") == profile("wdev0").n_requests
+
+    def test_trace_memoised(self):
+        ctx = RunContext(scale="smoke", seed=1)
+        assert ctx.trace("ads") is ctx.trace("ads")
+
+    def test_seeds_isolate_contexts(self):
+        a = RunContext(scale="smoke", seed=1).trace("ts0")
+        b = RunContext(scale="smoke", seed=2).trace("ts0")
+        import numpy as np
+        assert not np.array_equal(a.offsets, b.offsets)

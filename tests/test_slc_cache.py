@@ -1,0 +1,66 @@
+"""SLC cache view."""
+
+import pytest
+
+from repro import IPUFTL
+from repro.ftl.levels import BlockLevel
+from repro.slc_cache import SlcCacheView
+
+from conftest import tiny_config
+
+
+@pytest.fixture
+def ftl():
+    return IPUFTL(tiny_config())
+
+
+class TestView:
+    def test_empty_cache(self, ftl):
+        view = SlcCacheView(ftl)
+        stats = view.level_stats()
+        assert all(s.blocks == 0 for s in stats.values())
+        assert view.free_fraction == 1.0
+        assert not view.under_pressure
+
+    def test_tracks_writes(self, ftl):
+        ftl.handle_write([0, 1], 0.0)
+        view = SlcCacheView(ftl)
+        work = view.level_stats()[BlockLevel.WORK]
+        assert work.blocks == 1
+        assert work.valid_subpages == 2
+        assert work.valid_bytes == 8192
+
+    def test_tracks_updates(self, ftl):
+        ftl.handle_write([0], 0.0)
+        ftl.handle_write([0], 1.0)
+        view = SlcCacheView(ftl)
+        work = view.level_stats()[BlockLevel.WORK]
+        assert work.invalid_subpages == 1
+        assert work.updated_pages == 1
+
+    def test_promotion_visible(self, ftl):
+        for t in range(5):
+            ftl.handle_write([0], float(t))
+        view = SlcCacheView(ftl)
+        stats = view.level_stats()
+        assert stats[BlockLevel.MONITOR].blocks >= 1
+
+    def test_utilization_bounds(self, ftl):
+        for i in range(30):
+            ftl.handle_write([i * 4], float(i))
+        for stats in SlcCacheView(ftl).level_stats().values():
+            assert 0.0 <= stats.utilization <= 1.0
+
+    def test_summary_rows(self, ftl):
+        ftl.handle_write([0], 0.0)
+        rows = SlcCacheView(ftl).summary_rows()
+        assert rows[-1]["level"] == "(free)"
+        assert len(rows) == 4
+
+    def test_pressure_flag(self, ftl):
+        lsn, t = 0, 0.0
+        while not SlcCacheView(ftl).under_pressure and t < 3000:
+            ftl.handle_write([lsn], t)
+            lsn += 4
+            t += 1.0
+        assert SlcCacheView(ftl).under_pressure

@@ -1,0 +1,74 @@
+"""Trace characterisation (Tables 1 and 3 regeneration)."""
+
+import pytest
+
+from repro.traces.model import Trace
+from repro.traces.stats import HOT_THRESHOLD, characterize, update_size_buckets
+from repro.units import KIB
+
+
+def trace_from(rows):
+    """rows: (time, is_write, offset, size)"""
+    t, w, o, s = zip(*rows)
+    return Trace(t, w, o, s, name="x")
+
+
+class TestBuckets:
+    def test_boundaries(self):
+        probs = update_size_buckets([4 * KIB, 8 * KIB, 9 * KIB])
+        assert probs == pytest.approx((1 / 3, 1 / 3, 1 / 3))
+
+    def test_4k_inclusive(self):
+        assert update_size_buckets([4096]) == (1.0, 0.0, 0.0)
+
+    def test_8k_in_middle(self):
+        assert update_size_buckets([8192]) == (0.0, 1.0, 0.0)
+
+    def test_empty(self):
+        assert update_size_buckets([]) == (0.0, 0.0, 0.0)
+
+
+class TestCharacterize:
+    def test_update_detection(self):
+        trace = trace_from([
+            (0.0, True, 0, 4096),       # first write
+            (1.0, True, 0, 4096),       # update
+            (2.0, True, 4096, 8192),    # first write elsewhere
+        ])
+        stats = characterize(trace)
+        assert stats.n_updates == 1
+        assert stats.update_size_probs == (1.0, 0.0, 0.0)
+
+    def test_write_ratio_and_mean(self):
+        trace = trace_from([
+            (0.0, True, 0, 4096),
+            (1.0, False, 0, 4096),
+            (2.0, True, 8192, 12288),
+        ])
+        stats = characterize(trace)
+        assert stats.write_ratio == pytest.approx(2 / 3)
+        assert stats.mean_write_bytes == pytest.approx((4096 + 12288) / 2)
+
+    def test_hot_threshold_is_paper_value(self):
+        assert HOT_THRESHOLD == 4
+
+    def test_hot_ratio_counts_reads_too(self):
+        rows = [(float(i), i % 2 == 0, 0, 4096) for i in range(4)]
+        rows.append((10.0, True, 4096, 4096))
+        stats = characterize(trace_from(rows))
+        # Address 0 touched 4 times (hot); address 4096 once.
+        assert stats.hot_write_ratio == pytest.approx(0.5)
+
+    def test_three_accesses_not_hot(self):
+        rows = [(float(i), True, 0, 4096) for i in range(3)]
+        stats = characterize(trace_from(rows))
+        assert stats.hot_write_ratio == 0.0
+
+    def test_table_rows_formatted(self):
+        trace = trace_from([(0.0, True, 0, 4096)])
+        stats = characterize(trace)
+        row1 = stats.table1_row()
+        row3 = stats.table3_row()
+        assert row1["Trace"] == "x"
+        assert row3["# of Req."] == "1"
+        assert row3["Write R"] == "100.0%"

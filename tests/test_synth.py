@@ -1,0 +1,149 @@
+"""Synthetic trace generator: calibration and structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import characterize, profile
+from repro.traces.profiles import TRACE_NAMES
+from repro.traces.synth import SyntheticTraceGenerator, generate
+
+N = 12_000
+
+
+@pytest.fixture(scope="module")
+def generators():
+    gens = {}
+    for name in TRACE_NAMES:
+        gen = SyntheticTraceGenerator(profile(name), n_requests=N, seed=5)
+        trace = gen.generate()
+        gens[name] = (gen, trace, characterize(trace))
+    return gens
+
+
+class TestMarginals:
+    def test_request_count_exact(self, generators):
+        for name, (_, trace, _) in generators.items():
+            assert len(trace) == N
+
+    def test_write_ratio(self, generators):
+        for name, (_, _, stats) in generators.items():
+            target = profile(name).write_ratio
+            assert stats.write_ratio == pytest.approx(target, abs=0.005)
+
+    def test_mean_write_size(self, generators):
+        for name, (_, _, stats) in generators.items():
+            target = profile(name).mean_write_bytes
+            assert stats.mean_write_bytes == pytest.approx(target, rel=0.08)
+
+    def test_hot_write_ratio(self, generators):
+        for name, (_, _, stats) in generators.items():
+            target = profile(name).hot_write_ratio
+            assert stats.hot_write_ratio == pytest.approx(target, abs=0.03)
+
+    def test_update_size_buckets(self, generators):
+        for name, (_, _, stats) in generators.items():
+            target = profile(name).update_size_probs
+            for measured, expected in zip(stats.update_size_probs, target):
+                assert measured == pytest.approx(expected, abs=0.06)
+
+
+class TestStructure:
+    def test_extents_non_overlapping(self, generators):
+        gen, _, _ = generators["ts0"]
+        ext = gen.extents
+        order = np.argsort(ext.starts)
+        starts = ext.starts[order]
+        ends = starts + ext.sizes[order]
+        assert (starts[1:] >= ends[:-1]).all()
+
+    def test_hot_extents_have_4plus_writes(self, generators):
+        gen, _, _ = generators["ts0"]
+        ext = gen.extents
+        assert (ext.write_counts[ext.is_hot] >= 4).all()
+
+    def test_cold_extents_below_4(self, generators):
+        gen, _, _ = generators["ts0"]
+        ext = gen.extents
+        assert (ext.write_counts[~ext.is_hot] < 4).all()
+
+    def test_counts_sum_to_writes(self, generators):
+        gen, trace, _ = generators["ts0"]
+        assert int(gen.extents.write_counts.sum()) == trace.n_writes
+
+    def test_write_sizes_subpage_aligned(self, generators):
+        _, trace, _ = generators["ts0"]
+        assert (trace.sizes % 4096 == 0).all()
+
+    def test_updates_fully_cover_previous_version(self, generators):
+        """Every rewrite of an extent uses the same offset and size, so
+        page-mapped schemes never leak partially-superseded pages."""
+        _, trace, _ = generators["ts0"]
+        seen: dict[int, int] = {}
+        for i in range(len(trace)):
+            if not trace.is_write[i]:
+                continue
+            off, size = int(trace.offsets[i]), int(trace.sizes[i])
+            if off in seen:
+                assert seen[off] == size
+            seen[off] = size
+
+    def test_page_footprint_at_least_byte_footprint(self, generators):
+        gen, _, _ = generators["ts0"]
+        assert gen.extents.page_footprint_bytes() >= gen.extents.footprint_bytes
+
+    def test_times_strictly_increasing_enough(self, generators):
+        _, trace, _ = generators["ts0"]
+        assert (np.diff(trace.times_ms) >= 0).all()
+        assert trace.times_ms[-1] > 0
+
+    def test_temporal_locality(self, generators):
+        """An extent's writes span much less than the whole trace."""
+        gen, trace, _ = generators["ts0"]
+        positions: dict[int, list[int]] = {}
+        for i in range(len(trace)):
+            if trace.is_write[i]:
+                positions.setdefault(int(trace.offsets[i]), []).append(i)
+        spans = [max(p) - min(p) for p in positions.values() if len(p) >= 4]
+        assert spans, "expected hot extents"
+        # The locality window is 8% of the trace; allow slack.
+        assert np.median(spans) < 0.2 * len(trace)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate(profile("ts0"), n_requests=2000, seed=9)
+        b = generate(profile("ts0"), n_requests=2000, seed=9)
+        assert np.array_equal(a.offsets, b.offsets)
+        assert np.array_equal(a.sizes, b.sizes)
+        assert np.array_equal(a.is_write, b.is_write)
+
+    def test_different_seed_differs(self):
+        a = generate(profile("ts0"), n_requests=2000, seed=9)
+        b = generate(profile("ts0"), n_requests=2000, seed=10)
+        assert not np.array_equal(a.offsets, b.offsets)
+
+    def test_profiles_use_independent_streams(self):
+        a = generate(profile("ts0"), n_requests=2000, seed=9)
+        b = generate(profile("wdev0"), n_requests=2000, seed=9)
+        assert not np.array_equal(a.offsets, b.offsets)
+
+
+class TestValidation:
+    def test_zero_requests_rejected(self):
+        with pytest.raises(TraceError):
+            SyntheticTraceGenerator(profile("ts0"), n_requests=0)
+
+    def test_bad_interarrival_rejected(self):
+        with pytest.raises(TraceError):
+            SyntheticTraceGenerator(profile("ts0"), n_requests=10,
+                                    mean_interarrival_ms=0.0)
+
+    def test_tiny_trace_generates(self):
+        trace = generate(profile("ads"), n_requests=50, seed=1)
+        assert len(trace) == 50
+
+    def test_write_only_profileish(self):
+        # ts0 at minimum size still respects per-extent ordering.
+        trace = generate(profile("ts0"), n_requests=10, seed=2)
+        assert len(trace) == 10

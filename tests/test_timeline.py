@@ -1,0 +1,83 @@
+"""Timeline recorder and the simulator observer hook."""
+
+import pytest
+
+from repro import IPUFTL, Simulator
+from repro.metrics.timeline import TimelineRecorder
+from repro.traces import generate, profile
+
+from conftest import tiny_config
+
+
+def recorded_run(n=1500, every=100):
+    ftl = IPUFTL(tiny_config())
+    recorder = TimelineRecorder(ftl, sample_every=every)
+    trace = generate(profile("ts0"), n_requests=n, seed=4,
+                     mean_interarrival_ms=0.7)
+    Simulator(ftl, observer=recorder).run(trace)
+    return recorder
+
+
+class TestRecorder:
+    def test_sample_count(self):
+        recorder = recorded_run(n=1000, every=100)
+        assert len(recorder.samples) == 10
+
+    def test_samples_ordered(self):
+        recorder = recorded_run()
+        idx = [s.request_index for s in recorder.samples]
+        assert idx == sorted(idx)
+        times = [s.now_ms for s in recorder.samples]
+        assert times == sorted(times)
+
+    def test_free_fraction_bounds(self):
+        recorder = recorded_run()
+        for value in recorder.series("free_fraction"):
+            assert 0.0 <= value <= 1.0
+
+    def test_counters_monotone(self):
+        recorder = recorded_run()
+        for name in ("erases_slc", "intra_page_updates", "evicted_subpages"):
+            series = recorder.series(name)
+            assert all(b >= a for a, b in zip(series, series[1:])), name
+
+    def test_level_series(self):
+        recorder = recorded_run()
+        work = recorder.series("level:1")
+        assert any(v > 0 for v in work)
+
+    def test_unknown_series_rejected(self):
+        recorder = recorded_run(n=200, every=100)
+        with pytest.raises(KeyError):
+            recorder.series("nope")
+
+    def test_render(self):
+        recorder = recorded_run()
+        text = recorder.render(height=5, width=30)
+        assert "SLC free-pool fraction" in text
+        assert "W=Work" in text
+
+    def test_render_empty(self):
+        ftl = IPUFTL(tiny_config())
+        assert TimelineRecorder(ftl).render() == "(no samples)"
+
+    def test_invalid_stride(self):
+        ftl = IPUFTL(tiny_config())
+        with pytest.raises(ValueError):
+            TimelineRecorder(ftl, sample_every=0)
+
+
+class TestObserverHook:
+    def test_observer_called_per_request(self):
+        ftl = IPUFTL(tiny_config())
+        calls = []
+        trace = generate(profile("ts0"), n_requests=50, seed=4)
+        Simulator(ftl, observer=lambda i, t: calls.append(i)).run(trace)
+        assert len(calls) == 50
+        assert calls == sorted(calls)
+
+    def test_no_observer_is_fine(self):
+        ftl = IPUFTL(tiny_config())
+        trace = generate(profile("ts0"), n_requests=50, seed=4)
+        result = Simulator(ftl).run(trace)
+        assert result.n_requests == 50
