@@ -10,6 +10,13 @@ therefore honestly times) the sweep.
 Scale selection: ``REPRO_BENCH_SCALE`` env var (smoke | small | medium),
 default ``small``.
 
+Execution: ``REPRO_BENCH_JOBS`` fans the underlying simulation cells out
+over that many worker processes (0 = one per CPU), and
+``REPRO_BENCH_CACHE_DIR`` points the on-disk result cache at a directory
+so a second benchmark session reuses the sweep instead of re-simulating
+it (results are bit-identical either way; the first touch of a warm cache
+honestly times deserialisation instead of simulation).
+
 Rendered artifacts are printed (visible with ``pytest -s``) **and**
 appended to ``bench_artifacts.txt`` in the working directory, so the
 regenerated tables/figures survive pytest's output capturing.
@@ -25,6 +32,26 @@ ARTIFACT_LOG = Path(os.environ.get("REPRO_BENCH_ARTIFACTS",
 
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+BENCH_JOBS = os.environ.get("REPRO_BENCH_JOBS", "")
+BENCH_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR", "")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _bench_execution():
+    """Apply REPRO_BENCH_JOBS / REPRO_BENCH_CACHE_DIR to the shared
+    contexts, and report the cell / cache counters at session end."""
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.runner import configure_execution, execution_summary
+
+    if BENCH_JOBS:
+        configure_execution(jobs=int(BENCH_JOBS))
+    if BENCH_CACHE_DIR:
+        configure_execution(cache=ResultCache(BENCH_CACHE_DIR))
+    yield
+    info = execution_summary()
+    print(f"\n[bench cells] {info['executed_cells']} simulated "
+          f"({info['executed_seconds']:.1f}s replay wall); "
+          f"cache: {info['cache_hits']} hits / {info['cache_misses']} misses")
 
 
 @pytest.fixture(scope="session")

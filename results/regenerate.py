@@ -1,15 +1,59 @@
 #!/usr/bin/env python3
-"""Regenerate every reference artifact JSON in this directory."""
+"""Regenerate every reference artifact JSON in this directory.
 
+``--golden`` additionally regenerates the committed smoke-scale golden
+metric files under ``golden/`` that ``tests/test_golden_results.py``
+guards (only needed when a deliberate behaviour change shifts the
+numbers; the commit diff then documents the shift).
+"""
+
+import json
+import sys
 from pathlib import Path
 
 from repro.experiments import EXPERIMENTS, run
+from repro.experiments.runner import RunContext, SCHEME_ORDER
+from repro.traces.profiles import TRACE_NAMES
 
 OUT = Path(__file__).parent
 SCALE, SEED = "small", 1
 
-for eid in EXPERIMENTS:
-    artifact = run(eid, scale=SCALE, seed=SEED)
-    path = OUT / f"{eid}.json"
-    artifact.save_json(path)
-    print(f"wrote {path}")
+GOLDEN_SCALE, GOLDEN_SEED = "smoke", 1
+#: Headline metrics pinned per figure: fig5 reads the latency triple,
+#: fig9 the GC page-utilisation ratio.
+GOLDEN_METRICS = {
+    "fig5": ("avg_latency_ms", "avg_read_latency_ms", "avg_write_latency_ms",
+             "read_error_rate"),
+    "fig9": ("slc_page_utilization", "erases_slc", "erases_mlc"),
+}
+
+
+def regenerate_golden() -> None:
+    ctx = RunContext(scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+    results = ctx.run_matrix()
+    golden_dir = OUT / "golden"
+    golden_dir.mkdir(exist_ok=True)
+    for fig, metrics in GOLDEN_METRICS.items():
+        cells = {
+            f"{trace}/{scheme}": {m: getattr(results[(trace, scheme)], m)
+                                  for m in metrics}
+            for trace in TRACE_NAMES
+            for scheme in SCHEME_ORDER
+        }
+        path = golden_dir / f"{fig}_{GOLDEN_SCALE}.json"
+        path.write_text(json.dumps(
+            {"experiment": fig, "scale": GOLDEN_SCALE, "seed": GOLDEN_SEED,
+             "cells": cells},
+            indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    if "--golden" in sys.argv:
+        regenerate_golden()
+    else:
+        for eid in EXPERIMENTS:
+            artifact = run(eid, scale=SCALE, seed=SEED)
+            path = OUT / f"{eid}.json"
+            artifact.save_json(path)
+            print(f"wrote {path}")

@@ -18,10 +18,35 @@ import sys
 
 from . import SCHEMES, __version__
 from .experiments import EXPERIMENTS, run as run_experiment
-from .experiments.runner import default_context
+from .experiments.cache import ResultCache, default_cache_dir
+from .experiments.parallel import resolve_jobs
+from .experiments.runner import (
+    configure_execution,
+    default_context,
+    execution_summary,
+)
 from .metrics.report import format_table
 from .traces.profiles import PROFILES
 from .units import KIB
+
+
+def _setup_execution(args: argparse.Namespace) -> None:
+    """Apply ``--jobs`` / ``--cache-dir`` / ``--no-cache`` process-wide."""
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    configure_execution(jobs=resolve_jobs(args.jobs), cache=cache)
+
+
+def _print_execution_summary() -> None:
+    """The per-invocation cell / cache counter line."""
+    info = execution_summary()
+    line = (f"[cells] {info['executed_cells']} simulated "
+            f"({info['executed_seconds']:.1f}s replay wall)")
+    if info["cache_dir"] is not None:
+        line += (f"; cache: {info['cache_hits']} hits / "
+                 f"{info['cache_misses']} misses ({info['cache_dir']})")
+    print(line)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -32,23 +57,40 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _setup_execution(args)
     artifact = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
     print(artifact.render())
     if args.json:
         artifact.save_json(args.json)
         print(f"(rows written to {args.json})")
+    _print_execution_summary()
     return 0
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
+    _setup_execution(args)
     for eid in EXPERIMENTS:
         artifact = run_experiment(eid, scale=args.scale, seed=args.seed)
         print(artifact.render())
         print()
+    _print_execution_summary()
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    print(format_table(
+        [{"cache dir": str(cache.root), "entries": len(cache)}],
+        title="Simulation result cache"))
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    _setup_execution(args)
     ctx = default_context(args.scale, args.seed)
     if args.qd:
         from . import SCHEMES as schemes
@@ -66,6 +108,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                      "value": f"{result.n_requests / result.sim_time_ms:.3f}"})
     print(format_table(rows, title=f"{args.scheme} on {args.trace} "
                                    f"({mode}, scale={args.scale})"))
+    _print_execution_summary()
     return 0
 
 
@@ -96,6 +139,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_execution_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for the simulation fan-out "
+                            "(default: REPRO_JOBS or CPU count; 0 = auto)")
+        p.add_argument("--cache-dir", metavar="DIR",
+                       help="on-disk result cache location "
+                            "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="simulate every cell, ignore the result cache")
+
     sub.add_parser("list", help="list experiment ids").set_defaults(fn=_cmd_list)
 
     p_run = sub.add_parser("run", help="regenerate one table/figure")
@@ -105,12 +158,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=1)
     p_run.add_argument("--json", metavar="PATH",
                        help="also write the artifact rows as JSON")
+    add_execution_flags(p_run)
     p_run.set_defaults(fn=_cmd_run)
 
-    p_all = sub.add_parser("all", help="regenerate every table/figure")
+    p_all = sub.add_parser("all", aliases=["run-all"],
+                           help="regenerate every table/figure")
     p_all.add_argument("--scale", default="small",
                        choices=("smoke", "small", "medium", "paper"))
     p_all.add_argument("--seed", type=int, default=1)
+    add_execution_flags(p_all)
     p_all.set_defaults(fn=_cmd_all)
 
     p_sim = sub.add_parser("simulate", help="replay one trace/scheme pair")
@@ -122,7 +178,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--qd", type=int, default=0, metavar="DEPTH",
                        help="closed-loop replay at this queue depth "
                             "(0 = open-loop timestamp replay)")
+    add_execution_flags(p_sim)
     p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    p_cache.add_argument("--cache-dir", metavar="DIR",
+                         help="cache location (default: REPRO_CACHE_DIR "
+                              "or ~/.cache/repro)")
+    p_cache.add_argument("--clear", action="store_true",
+                         help="delete every cached result")
+    p_cache.set_defaults(fn=_cmd_cache)
 
     sub.add_parser("traces", help="show trace profiles").set_defaults(fn=_cmd_traces)
     return parser

@@ -28,12 +28,29 @@ regenerating every figure costs one simulation sweep, not one per figure.
 """
 
 from .artifact import Artifact
-from .runner import RunContext, run_one, run_matrix
+from .cache import CACHE_SCHEMA_VERSION, ResultCache, cell_key, default_cache_dir
+from .parallel import CellSpec, resolve_jobs, run_cells
+from .runner import (
+    RunContext,
+    configure_execution,
+    execution_summary,
+    run_one,
+    run_matrix,
+)
 from .registry import EXPERIMENTS, get, run
 
 __all__ = [
     "Artifact",
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "cell_key",
+    "default_cache_dir",
+    "CellSpec",
+    "resolve_jobs",
+    "run_cells",
     "RunContext",
+    "configure_execution",
+    "execution_summary",
     "run_one",
     "run_matrix",
     "EXPERIMENTS",

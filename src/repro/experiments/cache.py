@@ -1,0 +1,167 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Replaying a ``(trace, scheme, scale, seed, P/E)`` cell is by far the most
+expensive step of regenerating any figure, and it is fully deterministic:
+the same device configuration and synthetic-trace parameters always
+produce the same :class:`~repro.sim.simulator.SimulationResult`.  This
+module therefore keys each cell by the SHA-256 of everything that
+determines its outcome — the canonicalised :class:`~repro.config.SSDConfig`,
+the trace profile and generation parameters, the scheme, the scale/seed
+pair and a schema version — and stores the serialised result JSON under
+``~/.cache/repro`` (or ``REPRO_CACHE_DIR`` / ``--cache-dir``).
+
+Invalidation is purely by key: any Table-2 field change, a different
+seed, trace length or scheme yields a different digest, and a bump of
+:data:`CACHE_SCHEMA_VERSION` (required whenever the simulator's observable
+behaviour or the result schema changes) orphans every old entry at once.
+Stale entries are never *wrong*, only unreachable; ``repro-ssd cache
+--clear`` removes them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..config import SSDConfig
+from ..configio import config_to_dict
+from ..traces.profiles import TraceProfile
+
+#: Bump whenever simulator behaviour or the result schema changes, so a
+#: code change can never be masked by a stale cache entry.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+def cell_key(config: SSDConfig, profile: TraceProfile, n_requests: int,
+             interarrival_ms: float | None, scheme: str, scale: str,
+             seed: int, length_factor: float = 1.0,
+             pe: int | None = None) -> str:
+    """SHA-256 digest identifying one simulation cell.
+
+    Everything that influences the replay goes in: the full nested config
+    (so any Table-2 field change moves the key), the trace profile and
+    generator parameters, the scheme, and the context identity.  Floats
+    are serialised via ``repr`` inside ``json.dumps``, which is exact for
+    round-trippable doubles.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "config": config_to_dict(config),
+        "profile": dataclasses.asdict(profile),
+        "n_requests": int(n_requests),
+        "interarrival_ms": interarrival_ms,
+        "scheme": scheme,
+        "scale": scale,
+        "seed": int(seed),
+        "length_factor": float(length_factor),
+        "pe": pe,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache handle."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another handle's counters into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+
+
+class ResultCache:
+    """Content-addressed store of serialised simulation results.
+
+    One JSON file per cell, sharded by the first two hex digits of the
+    key.  Writes go through a temp file + :func:`os.replace`, so
+    concurrent workers (the parallel fan-out) can safely store the same
+    entry: last writer wins with identical bytes.
+    """
+
+    def __init__(self, root: "Path | str | None" = None):
+        self.root = Path(root).expanduser() if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of one entry."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload dict, or None on a miss (counted)."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            # A torn or corrupt entry is a miss; drop it so the fresh
+            # result replaces it.
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store one payload atomically (counted)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        """Number of entries on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for entry in self.root.glob("*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def summary_line(self) -> str:
+        """One-line hit/miss report for the CLI."""
+        s = self.stats
+        return (f"cache {self.root}: {s.hits} hits / {s.misses} misses / "
+                f"{s.stores} stores")

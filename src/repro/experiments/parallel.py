@@ -1,0 +1,86 @@
+"""Parallel execution of independent simulation cells.
+
+Every artifact decomposes into ``(trace, scheme, scale, seed, P/E)``
+cells whose replays share no state: the synthetic trace, the device
+configuration and the FTL are all rebuilt deterministically from the cell
+description.  That makes the fan-out embarrassingly parallel — each
+worker process reconstructs a fresh :class:`~repro.experiments.runner.RunContext`
+from the spec, replays its one cell, and ships the serialised
+:class:`~repro.sim.simulator.SimulationResult` back to the parent, which
+folds it into the ordinary memo.  No RNG state crosses process
+boundaries, so parallel and sequential execution are bit-identical
+(``tests/test_parallel.py`` asserts this).
+
+Workers consult and populate the shared on-disk
+:class:`~repro.experiments.cache.ResultCache` themselves (writes are
+atomic), so a warm cache short-circuits inside the worker too.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+__all__ = ["CellSpec", "resolve_jobs", "simulate_cell", "run_cells"]
+
+
+def resolve_jobs(jobs: "int | str | None" = None) -> int:
+    """Resolve a ``--jobs`` / ``REPRO_JOBS`` setting to a worker count.
+
+    ``None`` falls back to the ``REPRO_JOBS`` environment variable and
+    then to :func:`os.cpu_count`; ``0`` (or anything non-positive) means
+    "auto", i.e. :func:`os.cpu_count` as well.
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        jobs = int(env) if env else 0
+    jobs = int(jobs)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Everything a worker needs to replay one cell from scratch.
+
+    Only primitives, so the spec pickles cheaply and the worker-side
+    reconstruction goes through exactly the same code path a sequential
+    run uses.
+    """
+
+    scale: str
+    seed: int
+    trace: str
+    scheme: str
+    pe: int | None = None
+    length_factor: float = 1.0
+    #: Root of the shared on-disk result cache (None = no cache).
+    cache_dir: str | None = None
+
+
+def simulate_cell(spec: CellSpec) -> dict:
+    """Worker entry point: replay one cell, return its serialised result."""
+    from .cache import ResultCache
+    from .runner import RunContext
+
+    cache = ResultCache(spec.cache_dir) if spec.cache_dir else None
+    ctx = RunContext(scale=spec.scale, seed=spec.seed,
+                     length_factor=spec.length_factor, cache=cache)
+    return ctx.run(spec.trace, spec.scheme, pe=spec.pe).to_dict()
+
+
+def run_cells(specs: "list[CellSpec]", jobs: "int | None" = None) -> list[dict]:
+    """Replay many cells, fanning out over worker processes.
+
+    Results come back in spec order.  With one worker (or one cell) the
+    replays run inline — no pool, no pickling — which keeps the
+    single-CPU path identical to the historical sequential runner.
+    """
+    specs = list(specs)
+    n_workers = min(resolve_jobs(jobs), len(specs))
+    if n_workers <= 1:
+        return [simulate_cell(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(simulate_cell, specs))

@@ -45,6 +45,18 @@ def get(experiment_id: str) -> Callable[..., Artifact]:
             f"available: {', '.join(EXPERIMENTS)}") from None
 
 
-def run(experiment_id: str, scale: str = "small", seed: int = 1) -> Artifact:
-    """Run one experiment and return its artifact."""
+def run(experiment_id: str, scale: str = "small", seed: int = 1, *,
+        jobs: "int | None" = None, cache=None) -> Artifact:
+    """Run one experiment and return its artifact.
+
+    ``jobs`` (worker-process count; 0 = one per CPU) and ``cache`` (a
+    :class:`~repro.experiments.cache.ResultCache`) set the process-wide
+    execution defaults before building — the keyword form of the CLI's
+    ``--jobs`` / ``--cache-dir`` flags.
+    """
+    from . import runner
+    if jobs is not None:
+        runner.configure_execution(jobs=jobs)
+    if cache is not None:
+        runner.configure_execution(cache=cache)
     return get(experiment_id)(scale=scale, seed=seed)

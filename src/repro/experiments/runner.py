@@ -37,6 +37,7 @@ from ..sim.simulator import SimulationResult, Simulator
 from ..traces.model import Trace
 from ..traces.profiles import TRACE_NAMES, TraceProfile, profile
 from ..traces.synth import SyntheticTraceGenerator
+from .cache import ResultCache, cell_key as _cache_cell_key
 
 #: SLC cache size over the trace's hot-set bytes.
 CACHE_OVER_HOTSET = 0.8
@@ -83,6 +84,16 @@ class RunContext:
     seed: int = 1
     #: Trace-length multiplier (the P/E sweep uses shorter runs).
     length_factor: float = 1.0
+    #: Worker-process count for :meth:`run_cells`/:meth:`run_matrix`
+    #: (None or 1 = sequential; 0 = one worker per CPU).
+    jobs: int | None = None
+    #: Optional shared on-disk result cache, consulted before any cell is
+    #: simulated and populated after.
+    cache: ResultCache | None = field(default=None, repr=False, compare=False)
+    #: Cells this context actually simulated (cache hits excluded) and the
+    #: wall-clock seconds those replays took — the CLI summary counters.
+    executed_cells: int = field(default=0, compare=False)
+    executed_seconds: float = field(default=0.0, compare=False)
     _results: dict = field(default_factory=dict, repr=False)
     _traces: dict = field(default_factory=dict, repr=False)
     _configs: dict = field(default_factory=dict, repr=False)
@@ -185,28 +196,104 @@ class RunContext:
 
     # -- simulation --------------------------------------------------------------
 
-    def run(self, trace_name: str, scheme: str, pe: int | None = None,
-            ) -> SimulationResult:
-        """Replay ``trace_name`` under ``scheme`` (memoised)."""
+    def cell_key(self, trace_name: str, scheme: str, pe: int | None = None,
+                 ) -> str:
+        """Content hash identifying one simulation cell for the on-disk
+        cache: canonicalised config + trace parameters + scheme + context
+        identity (see :func:`repro.experiments.cache.cell_key`)."""
+        prof = profile(trace_name)
+        return _cache_cell_key(
+            self.trace_config(trace_name, pe), prof,
+            self.trace_requests(trace_name),
+            estimate_interarrival_ms(prof, self.trace_config(trace_name)),
+            scheme, self.scale, self.seed, self.length_factor, pe)
+
+    def _check_scheme(self, scheme: str) -> None:
         from .. import SCHEMES
         if scheme not in SCHEMES:
             raise ExperimentError(
                 f"unknown scheme {scheme!r}; available: {', '.join(SCHEMES)}")
+
+    def run(self, trace_name: str, scheme: str, pe: int | None = None,
+            ) -> SimulationResult:
+        """Replay ``trace_name`` under ``scheme`` (memoised and cached)."""
+        from .. import SCHEMES
+        self._check_scheme(scheme)
         key = (trace_name, scheme, pe)
-        if key not in self._results:
-            cfg = self.trace_config(trace_name, pe)
-            ftl = SCHEMES[scheme](cfg)
-            self._results[key] = Simulator(ftl).run(self.trace(trace_name))
-        return self._results[key]
+        if key in self._results:
+            return self._results[key]
+        ck = None
+        if self.cache is not None:
+            ck = self.cell_key(trace_name, scheme, pe)
+            payload = self.cache.get(ck)
+            if payload is not None:
+                self._results[key] = SimulationResult.from_dict(payload)
+                return self._results[key]
+        cfg = self.trace_config(trace_name, pe)
+        ftl = SCHEMES[scheme](cfg)
+        result = Simulator(ftl).run(self.trace(trace_name))
+        self.executed_cells += 1
+        self.executed_seconds += result.wall_seconds
+        if self.cache is not None:
+            self.cache.put(ck, result.to_dict())
+        self._results[key] = result
+        return result
+
+    def run_cells(self, cells, jobs: int | None = None) -> None:
+        """Memoise every ``(trace, scheme, pe)`` cell, in parallel.
+
+        Cells already memoised are skipped; cells present in the on-disk
+        cache are restored in-process (counted as hits); only the
+        remainder fans out over worker processes.  With an effective
+        worker count of 1 this is plain sequential :meth:`run`.
+        """
+        from . import parallel
+        cells = [(t, s, pe) for (t, s, pe) in cells]
+        for _, scheme, _ in cells:
+            self._check_scheme(scheme)
+        jobs = jobs if jobs is not None else self.jobs
+        n_workers = parallel.resolve_jobs(jobs) if jobs is not None else 1
+        if n_workers <= 1:
+            for trace_name, scheme, pe in cells:
+                self.run(trace_name, scheme, pe=pe)
+            return
+        pending: list[tuple[tuple, str]] = []
+        for key in cells:
+            if key in self._results:
+                continue
+            trace_name, scheme, pe = key
+            if self.cache is not None:
+                ck = self.cell_key(trace_name, scheme, pe)
+                payload = self.cache.get(ck)
+                if payload is not None:
+                    self._results[key] = SimulationResult.from_dict(payload)
+                    continue
+            pending.append(key)
+        if not pending:
+            return
+        cache_dir = str(self.cache.root) if self.cache is not None else None
+        specs = [
+            parallel.CellSpec(scale=self.scale, seed=self.seed,
+                              trace=t, scheme=s, pe=pe,
+                              length_factor=self.length_factor,
+                              cache_dir=cache_dir)
+            for (t, s, pe) in pending
+        ]
+        for key, payload in zip(pending, parallel.run_cells(specs, n_workers)):
+            result = SimulationResult.from_dict(payload)
+            self.executed_cells += 1
+            self.executed_seconds += result.wall_seconds
+            self._results[key] = result
 
     def run_matrix(self, traces: "tuple[str, ...] | None" = None,
                    schemes: "tuple[str, ...]" = SCHEME_ORDER,
-                   pe: int | None = None,
+                   pe: int | None = None, jobs: int | None = None,
                    ) -> dict[tuple[str, str], SimulationResult]:
         """Replay every (trace, scheme) pair; returns results keyed by pair."""
         names = traces if traces is not None else TRACE_NAMES
+        self.run_cells([(t, s, pe) for t in names for s in schemes], jobs=jobs)
         return {
-            (t, s): self.run(t, s, pe=pe)
+            (t, s): self._results[(t, s, pe)]
             for t in names
             for s in schemes
         }
@@ -216,13 +303,73 @@ class RunContext:
 #: from one simulation sweep.
 _DEFAULT_CONTEXTS: dict[tuple[str, int], RunContext] = {}
 
+#: Every pool of long-lived contexts :func:`configure_execution` manages
+#: (the sweep module registers its own; ad-hoc ``RunContext``s are not
+#: tracked).
+_CONTEXT_POOLS: list[dict] = [_DEFAULT_CONTEXTS]
+
+#: Execution settings applied to every context created via
+#: :func:`new_context` / :func:`default_context`.
+_EXEC_DEFAULTS: dict = {"jobs": None, "cache": None}
+
+_UNSET = object()
+
+
+def register_context_pool(pool: dict) -> dict:
+    """Let :func:`configure_execution` manage another memoised-context
+    dict (returns it for assignment convenience)."""
+    _CONTEXT_POOLS.append(pool)
+    return pool
+
+
+def configure_execution(jobs=_UNSET, cache=_UNSET) -> None:
+    """Set the process-wide parallelism / cache defaults.
+
+    Applies both to contexts created from now on and to the already
+    memoised shared contexts, so ``--jobs``/``--cache-dir`` reach the
+    builders no matter which order figures run in.
+    """
+    for pool in _CONTEXT_POOLS:
+        for ctx in pool.values():
+            if jobs is not _UNSET:
+                ctx.jobs = jobs
+            if cache is not _UNSET:
+                ctx.cache = cache
+    if jobs is not _UNSET:
+        _EXEC_DEFAULTS["jobs"] = jobs
+    if cache is not _UNSET:
+        _EXEC_DEFAULTS["cache"] = cache
+
+
+def new_context(scale: str = "small", seed: int = 1,
+                length_factor: float = 1.0) -> RunContext:
+    """A context carrying the process-wide execution defaults."""
+    return RunContext(scale=scale, seed=seed, length_factor=length_factor,
+                      jobs=_EXEC_DEFAULTS["jobs"],
+                      cache=_EXEC_DEFAULTS["cache"])
+
 
 def default_context(scale: str = "small", seed: int = 1) -> RunContext:
     """Process-wide memoised context per (scale, seed)."""
     key = (scale, seed)
     if key not in _DEFAULT_CONTEXTS:
-        _DEFAULT_CONTEXTS[key] = RunContext(scale=scale, seed=seed)
+        _DEFAULT_CONTEXTS[key] = new_context(scale=scale, seed=seed)
     return _DEFAULT_CONTEXTS[key]
+
+
+def execution_summary() -> dict:
+    """Aggregate cell/cache counters over the managed contexts (the
+    numbers behind the CLI summary line)."""
+    contexts = [ctx for pool in _CONTEXT_POOLS for ctx in pool.values()]
+    cache = _EXEC_DEFAULTS["cache"]
+    return {
+        "executed_cells": sum(c.executed_cells for c in contexts),
+        "executed_seconds": sum(c.executed_seconds for c in contexts),
+        "cache_hits": cache.stats.hits if cache is not None else 0,
+        "cache_misses": cache.stats.misses if cache is not None else 0,
+        "cache_stores": cache.stats.stores if cache is not None else 0,
+        "cache_dir": str(cache.root) if cache is not None else None,
+    }
 
 
 def run_one(trace_name: str, scheme: str, scale: str = "small",

@@ -12,7 +12,7 @@ triggering request's own host ops.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -28,6 +28,12 @@ from .timing import TimingModel
 @dataclass
 class SimulationResult:
     """Everything a replay produces; feeds every figure of the evaluation."""
+
+    #: Fields that depend on host wall-clock time rather than on the
+    #: simulated device, and therefore differ between two replays of the
+    #: same cell.  Determinism checks and cache-equality comparisons must
+    #: ignore them (see :meth:`deterministic_dict`).
+    NONDETERMINISTIC_FIELDS = ("wall_seconds", "gc_scan_seconds")
 
     scheme: str
     trace_name: str
@@ -118,6 +124,59 @@ class SimulationResult:
             "mapping_table_bytes": self.mapping_table_bytes,
             "gc_scan_seconds": self.gc_scan_seconds,
         }
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; exact inverse of :meth:`from_dict`.
+
+        Latency arrays become float lists and the ``level_writes`` keys
+        become strings (JSON objects only key on strings), so the dict
+        survives a ``json.dumps``/``json.loads`` round trip unchanged.
+        """
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name in ("read_latencies", "write_latencies"):
+                value = [] if value is None else [float(v) for v in value]
+            elif f.name == "level_writes":
+                value = {str(k): int(v) for k, v in sorted(value.items())}
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`SimulationError` — a payload written by
+        a different result schema must not deserialise silently (the
+        on-disk cache guards against this with a schema version too).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise SimulationError(
+                f"unknown SimulationResult fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        for name in ("read_latencies", "write_latencies"):
+            if name in kwargs:
+                kwargs[name] = np.asarray(kwargs[name], dtype=np.float64)
+        if "level_writes" in kwargs:
+            kwargs["level_writes"] = {
+                int(k): int(v) for k, v in kwargs["level_writes"].items()}
+        return cls(**kwargs)
+
+    def deterministic_dict(self) -> dict:
+        """:meth:`to_dict` minus host-wall-clock fields.
+
+        Two replays of the same ``(config, trace, scheme, seed)`` cell —
+        sequential, parallel or cache-restored — must agree on this dict
+        exactly.
+        """
+        out = self.to_dict()
+        for name in self.NONDETERMINISTIC_FIELDS:
+            out.pop(name, None)
+        return out
 
 
 class Simulator:

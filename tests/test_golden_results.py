@@ -1,0 +1,52 @@
+"""Golden regression guard: the smoke-scale cells behind the committed
+fig5/fig9 reference artifacts must reproduce their headline metrics
+exactly (within 1e-9), so refactors cannot silently shift paper numbers.
+
+Regenerate the golden files with ``python results/regenerate.py --golden``
+only for a *deliberate* behaviour change; the diff is the audit trail.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import RunContext
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "results" / "golden"
+GOLDEN_FILES = sorted(GOLDEN_DIR.glob("*_smoke.json"))
+
+TOLERANCE = 1e-9
+
+
+@pytest.fixture(scope="module")
+def smoke_matrix():
+    """One sequential replay of the full smoke matrix (shared)."""
+    ctx = RunContext(scale="smoke", seed=1)
+    return ctx.run_matrix()
+
+
+def test_golden_files_are_committed():
+    assert len(GOLDEN_FILES) >= 2, (
+        f"expected the committed fig5/fig9 golden files in {GOLDEN_DIR}")
+
+
+@pytest.mark.parametrize("path", GOLDEN_FILES, ids=lambda p: p.stem)
+def test_smoke_cells_match_golden(path, smoke_matrix):
+    golden = json.loads(path.read_text())
+    assert golden["scale"] == "smoke"
+    mismatches = []
+    for cell, metrics in golden["cells"].items():
+        trace, scheme = cell.split("/")
+        result = smoke_matrix[(trace, scheme)]
+        for metric, expected in metrics.items():
+            got = getattr(result, metric)
+            if abs(got - expected) > TOLERANCE:
+                mismatches.append(
+                    f"{cell}.{metric}: golden {expected!r} != {got!r}")
+    assert not mismatches, (
+        "headline metrics drifted from the committed golden values "
+        "(intentional change? re-run results/regenerate.py --golden):\n"
+        + "\n".join(mismatches))
