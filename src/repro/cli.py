@@ -17,6 +17,7 @@ import argparse
 import sys
 
 from . import SCHEMES, __version__
+from .bench import DEFAULT_SCHEMES, DEFAULT_TRACES
 from .experiments import EXPERIMENTS, run as run_experiment
 from .experiments.cache import ResultCache, default_cache_dir
 from .experiments.parallel import resolve_jobs
@@ -112,6 +113,67 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        compare_to_baseline,
+        load_baseline,
+        profile_cell,
+        run_bench,
+        save_baseline,
+    )
+
+    traces = tuple(args.traces.split(","))
+    schemes = tuple(args.schemes.split(","))
+    payload = run_bench(scale=args.scale, seed=args.seed, traces=traces,
+                        schemes=schemes, repeats=args.repeats)
+    rows = [{"trace": c["trace"], "scheme": c["scheme"],
+             "requests": c["n_requests"],
+             "wall s": f"{c['wall_seconds']:.3f}",
+             "ops/sec": f"{c['ops_per_sec']:,.0f}"}
+            for c in payload["cells"]]
+    agg = payload["aggregate"]
+    rows.append({"trace": "(aggregate)", "scheme": "-",
+                 "requests": agg["n_requests"],
+                 "wall s": f"{agg['wall_seconds']:.3f}",
+                 "ops/sec": f"{agg['ops_per_sec']:,.0f}"})
+    print(format_table(rows, title=f"Hot-path throughput (scale={args.scale}, "
+                                   f"best of {args.repeats})"))
+    if args.profile:
+        for c in payload["cells"]:
+            print(f"\n--- cProfile: {c['trace']}/{c['scheme']} "
+                  f"(top {args.profile} by tottime) ---")
+            print(profile_cell(c["trace"], c["scheme"], args.scale,
+                               args.seed, top=args.profile))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            import json as _json
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"(results written to {args.json})")
+    if args.update:
+        save_baseline(payload, args.baseline)
+        print(f"(baseline updated: {args.baseline})")
+        return 0
+    if args.check:
+        try:
+            baseline = load_baseline(args.baseline)
+        except FileNotFoundError:
+            print(f"bench: baseline {args.baseline} not found "
+                  f"(create it with --update)")
+            return 1
+        failures = compare_to_baseline(payload, baseline,
+                                       max_regression=args.max_regression)
+        if failures:
+            print(f"bench: {len(failures)} cell(s) regressed beyond "
+                  f"{args.max_regression:.0%}:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(f"bench: all cells within {args.max_regression:.0%} of "
+              f"{args.baseline}")
+    return 0
+
+
 def _cmd_traces(args: argparse.Namespace) -> int:
     rows = [
         {
@@ -180,6 +242,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 = open-loop timestamp replay)")
     add_execution_flags(p_sim)
     p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_bench = sub.add_parser(
+        "bench", help="measure hot-path throughput (ops/sec per cell)")
+    p_bench.add_argument("--scale", default="smoke",
+                         choices=("smoke", "small", "medium", "paper"))
+    p_bench.add_argument("--seed", type=int, default=1)
+    p_bench.add_argument("--traces", default=",".join(DEFAULT_TRACES),
+                         metavar="T1,T2", help="comma-separated trace names")
+    p_bench.add_argument("--schemes", default=",".join(DEFAULT_SCHEMES),
+                         metavar="S1,S2", help="comma-separated scheme names")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="measurement repeats per cell (best wins)")
+    p_bench.add_argument("--profile", type=int, default=0, metavar="N",
+                         help="also cProfile each cell and dump the top N "
+                              "functions by tottime")
+    p_bench.add_argument("--json", metavar="PATH",
+                         help="write the measurement payload as JSON")
+    p_bench.add_argument("--baseline", default="BENCH_hotpath.json",
+                         metavar="PATH", help="committed reference file")
+    p_bench.add_argument("--check", action="store_true",
+                         help="fail when a cell regresses vs the baseline")
+    p_bench.add_argument("--update", action="store_true",
+                         help="rewrite the baseline with this run")
+    p_bench.add_argument("--max-regression", type=float, default=0.30,
+                         metavar="FRAC",
+                         help="allowed per-cell ops/sec drop for --check "
+                              "(default 0.30)")
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
     p_cache.add_argument("--cache-dir", metavar="DIR",

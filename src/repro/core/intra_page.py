@@ -49,33 +49,38 @@ def plan_intra_page_update(
     ``get_block`` resolves a block id to its :class:`Block`; the indirection
     keeps this module independent of :class:`~repro.nand.flash.FlashArray`.
     """
-    if not chunk_lsns or len(chunk_lsns) != len(mappings):
+    nslots = len(chunk_lsns)
+    if not nslots or nslots != len(mappings):
         return None
-    if any(m is None for m in mappings):
+    if None in mappings:
         return None
     first = mappings[0]
-    if any((m.block, m.page) != (first.block, first.page) for m in mappings[1:]):
-        return None
+    fblock = first.block
+    fpage = first.page
+    for m in mappings:
+        if m.block != fblock or m.page != fpage:
+            return None
 
-    block: Block = get_block(first.block)
-    if not block.mode.is_slc:
+    block: Block = get_block(fblock)
+    if not block.is_slc:
         return None
     if block.state not in (BlockState.OPEN, BlockState.FULL):
         return None
-    page = first.page
-    if block.program_count[page] >= max_page_programs:
+    if block.program_count[fpage] >= max_page_programs:
         return None
-    old_slots = {m.slot for m in mappings}
-    if any(slot not in old_slots for slot in block.valid_slots_of_page(page)):
+    # Condition 3 without scanning the page: every mapping points at a
+    # distinct currently-valid slot of the page, so the chunk covers the
+    # resident data iff the page holds exactly that many valid subpages.
+    if block.page_valid[fpage] != nslots:
         # Partial rewrite: live sibling data would absorb the disturb.
         return None
-    free = block.free_slots_of_page(page)
-    if len(free) < len(chunk_lsns):
+    if block.spp - block.page_programmed[fpage] < nslots:
         return None
+    free = block.free_slots_of_page(fpage)
 
     return IntraPagePlan(
-        block_id=first.block,
-        page=page,
-        target_slots=tuple(free[: len(chunk_lsns)]),
+        block_id=fblock,
+        page=fpage,
+        target_slots=tuple(free[:nslots]),
         old_slots=tuple(m.slot for m in mappings),
     )

@@ -65,12 +65,15 @@ class IPUFTL(BaseFTL):
 
     def write(self, lsns: list[int], now: float) -> list[OpRecord]:
         ops: list[OpRecord] = []
+        lookup = self.subpage_map.lookup
+        get_block = self.flash.blocks.__getitem__
+        max_pp = self.config.reliability.max_page_programs
         for chunk in self.chunks_by_lpn(lsns):
-            mappings = [self.subpage_map.lookup(lsn) for lsn in chunk]
+            mappings = [lookup(lsn) for lsn in chunk]
             plan = plan_intra_page_update(
                 chunk, mappings,
-                get_block=self.flash.block,
-                max_page_programs=self.config.reliability.max_page_programs,
+                get_block=get_block,
+                max_page_programs=max_pp,
             )
             if plan is not None:
                 ops.append(self._intra_page_update(chunk, plan, now))
@@ -81,15 +84,19 @@ class IPUFTL(BaseFTL):
     def _intra_page_update(self, chunk: list[int], plan, now: float) -> OpRecord:
         """Algorithm 1 lines 6-9: update inside the same page."""
         block = self.flash.block(plan.block_id)
+        invalidate = self.flash.invalidate
+        unbind = self.subpage_map.unbind
+        bind = self.subpage_map.bind
+        block_id, page = plan.block_id, plan.page
         # Invalidate first: the partial pass then disturbs no live data
         # inside the page.
         for lsn, old_slot in zip(chunk, plan.old_slots):
-            self.flash.invalidate(plan.block_id, plan.page, old_slot)
-            self.subpage_map.unbind(lsn)
-        op = self.program_subpages(block, plan.page, list(plan.target_slots),
+            invalidate(block_id, page, old_slot)
+            unbind(lsn)
+        op = self.program_subpages(block, page, list(plan.target_slots),
                                    chunk, now, Cause.HOST)
         for lsn, slot in zip(chunk, plan.target_slots):
-            self.subpage_map.bind(lsn, PPA(plan.block_id, plan.page, slot))
+            bind(lsn, PPA(block_id, page, slot))
         block.mark_page_updated(plan.page)
         self.stats.intra_page_updates += 1
         self.stats.update_writes += 1
@@ -112,10 +119,12 @@ class IPUFTL(BaseFTL):
             self.stats.new_data_writes += 1
             target = BlockLevel.WORK
 
+        invalidate = self.flash.invalidate
+        unbind = self.subpage_map.unbind
         for lsn, m in zip(chunk, mappings):
             if m is not None:
-                self.flash.invalidate(m.block, m.page, m.slot)
-                self.subpage_map.unbind(lsn)
+                invalidate(m.block, m.page, m.slot)
+                unbind(lsn)
 
         res = self.alloc_slc_page(target, now, ops)
         if res is None:
@@ -124,8 +133,10 @@ class IPUFTL(BaseFTL):
         block, page = res
         slots = list(range(len(chunk)))
         ops.append(self.program_subpages(block, page, slots, chunk, now, Cause.HOST))
+        bind = self.subpage_map.bind
+        block_id = block.block_id
         for lsn, slot in zip(chunk, slots):
-            self.subpage_map.bind(lsn, PPA(block.block_id, page, slot))
+            bind(lsn, PPA(block_id, page, slot))
         level = block.level if block.level is not None else 0
         self.stats.note_level_write(level)
         return ops

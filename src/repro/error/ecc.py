@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import ReliabilityConfig, TimingConfig
+from ..errors import ConfigError
 from .bch import BCHCode
 
 
@@ -34,10 +35,15 @@ class EccModel:
         self._min = timing.ecc_min_ms
         self._span = timing.ecc_max_ms - timing.ecc_min_ms
         self._t = float(self.code.t)
+        # codeword_bits re-derives its parity term (a log2) per call;
+        # it is fixed for a code, so resolve it once.
+        self._cw_bits = self.code.codeword_bits
 
     def decode_ms(self, rber: float) -> float:
         """Decode time for data read at uniform ``rber``."""
-        lam = self.code.expected_errors(rber)
+        if rber < 0:
+            raise ConfigError(f"negative RBER {rber}")
+        lam = rber * self._cw_bits
         frac = min(1.0, lam / self._t)
         return self._min + self._span * frac
 
@@ -48,9 +54,27 @@ class EccModel:
         subpage dominates the page's ECC latency.
         """
         arr = np.asarray(rbers, dtype=np.float64)
-        if arr.size == 0:
+        size = arr.size
+        if size == 0:
             return self._min
+        if size == 1:
+            # max() of one element is that element; skip the reduction.
+            return self.decode_ms(float(arr[0]))
         return self.decode_ms(float(arr.max()))
+
+    def decode_ms_many(self, rbers: "np.ndarray | list[float]") -> np.ndarray:
+        """Vectorised :meth:`decode_ms` over per-read RBERs.
+
+        Elementwise float64 arithmetic, so every element equals the
+        scalar :meth:`decode_ms` of the same input exactly (used by the
+        batch latency-accounting paths; tests assert the equivalence).
+        """
+        arr = np.asarray(rbers, dtype=np.float64)
+        if arr.size and float(arr.min()) < 0:
+            raise ConfigError("negative RBER in batch")
+        lam = arr * self._cw_bits
+        frac = np.minimum(1.0, lam / self._t)
+        return self._min + self._span * frac
 
     def expected_raw_errors(self, rber: float, nbytes: int) -> float:
         """Expected raw bit errors when reading ``nbytes`` at ``rber``."""

@@ -41,16 +41,25 @@ class RberModel:
         self._unit_ref = (config.rber_partial_ref - config.rber_conventional_ref) / passes
         if self._unit_ref < 0:
             raise ConfigError("partial RBER reference below conventional reference")
+        # Replays evaluate the curves at a handful of distinct P/E counts
+        # millions of times; memoising the exact returned float is
+        # byte-identical to recomputation.
+        self._base_cache: dict[tuple[float, bool], float] = {}
+        self._unit_cache: dict[float, float] = {}
 
     # -- base curves -----------------------------------------------------
 
     def base(self, pe: float, slc: bool = True) -> float:
         """Conventional-programming RBER at ``pe`` P/E cycles."""
+        cached = self._base_cache.get((pe, slc))
+        if cached is not None:
+            return cached
         if pe < 0:
             raise ConfigError(f"negative P/E count {pe}")
         value = self._fresh + self._span * (pe / self._ref_pe) ** self._alpha
         if not slc:
             value *= self.config.mlc_rber_factor
+        self._base_cache[(pe, slc)] = value
         return value
 
     def disturb_unit(self, pe: float) -> float:
@@ -60,8 +69,13 @@ class RberModel:
         with wear (Section 2.2: "the bit error rate difference becomes
         more pronounced as the P/E cycle is getting large").
         """
+        cached = self._unit_cache.get(pe)
+        if cached is not None:
+            return cached
         ref_base = self.base(self._ref_pe, slc=True)
-        return self._unit_ref * (self.base(pe, slc=True) / ref_base)
+        value = self._unit_ref * (self.base(pe, slc=True) / ref_base)
+        self._unit_cache[pe] = value
+        return value
 
     def partial_typical(self, pe: float) -> float:
         """RBER of a subpage that received the full partial-program budget.

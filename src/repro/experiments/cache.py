@@ -34,7 +34,7 @@ from ..traces.profiles import TraceProfile
 
 #: Bump whenever simulator behaviour or the result schema changes, so a
 #: code change can never be masked by a stale cache entry.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 
 def default_cache_dir() -> Path:

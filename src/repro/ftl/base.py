@@ -108,6 +108,7 @@ class BaseFTL(abc.ABC):
         )
 
         self._subpage_bits = self.geometry.subpage_size * 8
+        self._max_page_programs = config.reliability.max_page_programs
         mlc_base = self.rber.base(config.reliability.initial_pe_cycles, slc=False)
         self._pseudo_ecc_ms = self.ecc.decode_ms(mlc_base)
         self._pseudo_rber = mlc_base
@@ -193,7 +194,7 @@ class BaseFTL(abc.ABC):
             block = self.flash.block(block_id)
             ops.append(OpRecord(
                 kind=OpKind.READ, block_id=block_id, page=page,
-                n_slots=len(slots), is_slc=block.mode.is_slc, cause=Cause.HOST,
+                n_slots=len(slots), is_slc=block.is_slc, cause=Cause.HOST,
                 ecc_ms=self.ecc.decode_ms_for_subpages(rbers),
                 raw_errors=float(rbers.sum()) * self._subpage_bits,
             ))
@@ -324,9 +325,23 @@ class BaseFTL(abc.ABC):
 
     def program_subpages(self, block: Block, page: int, slots: list[int],
                          lsns: list[int], now: float, cause: Cause) -> OpRecord:
-        """Program and account one flash program operation."""
-        self.flash.program(block.block_id, page, slots, lsns, now)
-        slc = block.mode.is_slc
+        """Program and account one flash program operation.
+
+        Mirrors ``FlashArray.program`` inline (same bookkeeping, same
+        order) — this helper runs once per host/GC program, and the extra
+        call frame is measurable on the simulation hot path.
+        """
+        flash = self.flash
+        partial = block.program(page, slots, lsns, now, self._max_page_programs)
+        slc = block.is_slc
+        if partial:
+            disturbed = block.add_disturb(page, slots)
+            flash.partial_programs += 1
+            flash.disturbed_valid_subpages += disturbed
+        if slc:
+            flash.programs_slc += 1
+        else:
+            flash.programs_mlc += 1
         if cause is Cause.HOST:
             if slc:
                 self.stats.host_programs_slc += 1
@@ -376,7 +391,9 @@ class BaseFTL(abc.ABC):
     # -- invariants (test support) ----------------------------------------------------
 
     def check_consistency(self) -> None:
-        """Assert map <-> flash agreement for every binding (test hook)."""
+        """Assert map <-> flash agreement for every binding, and that the
+        incremental bookkeeping (region counters, victim indices) agrees
+        with a naive rescan of the device (test hook)."""
         for lsn, ppa in self.iter_bindings():
             block = self.flash.block(ppa.block)
             if not block.valid[ppa.page, ppa.slot]:
@@ -388,6 +405,9 @@ class BaseFTL(abc.ABC):
                 raise AssertionError(
                     f"{self.scheme_name}: LSN {lsn} maps to {ppa} which "
                     f"stores LSN {stored}")
+        self.flash.verify_region_counters()
+        self.slc_alloc.victim_index.verify()
+        self.mlc_alloc.victim_index.verify()
 
     @abc.abstractmethod
     def iter_bindings(self):

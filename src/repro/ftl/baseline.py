@@ -55,41 +55,46 @@ class BaselineFTL(BaseFTL):
     def write(self, lsns: list[int], now: float) -> list[OpRecord]:
         ops: list[OpRecord] = []
         spp = self.geometry.subpages_per_page
+        lookup = self.subpage_map.lookup
+        unbind = self.subpage_map.unbind
+        bind = self.subpage_map.bind
+        invalidate = self.flash.invalidate
+        stats = self.stats
         for chunk in self.chunks_by_lpn(lsns):
-            lpn = chunk[0] // spp
-            write_lsns = list(chunk)
-            mapped_old = [(lsn, self.subpage_map.lookup(lsn)) for lsn in chunk]
-            is_update = any(ppa is not None for _, ppa in mapped_old)
+            write_lsns = chunk
+            mapped_old = [lookup(lsn) for lsn in chunk]
+            is_update = any(ppa is not None for ppa in mapped_old)
 
             if self.merge_siblings:
+                lpn = chunk[0] // spp
                 carry = self._collect_siblings(lpn, chunk, now, ops)
-                write_lsns = sorted(set(write_lsns) | set(carry))
-                mapped_old = [(lsn, self.subpage_map.lookup(lsn))
-                              for lsn in write_lsns]
+                write_lsns = sorted(set(chunk) | set(carry))
+                mapped_old = [lookup(lsn) for lsn in write_lsns]
 
             if is_update:
-                self.stats.update_writes += 1
+                stats.update_writes += 1
             else:
-                self.stats.new_data_writes += 1
+                stats.new_data_writes += 1
 
             res = self.alloc_slc_page(BlockLevel.WORK, now, ops)
             if res is None:
                 res = self.alloc_mlc_page(now, ops)
-                self.stats.slc_overflow_chunks += 1
+                stats.slc_overflow_chunks += 1
             block, page = res
 
-            for lsn, ppa in mapped_old:
+            for lsn, ppa in zip(write_lsns, mapped_old):
                 if ppa is not None:
-                    self.flash.invalidate(ppa.block, ppa.page, ppa.slot)
-                    self.subpage_map.unbind(lsn)
+                    invalidate(ppa.block, ppa.page, ppa.slot)
+                    unbind(lsn)
 
             slots = [lsn % spp for lsn in write_lsns]
             ops.append(self.program_subpages(block, page, slots, write_lsns,
                                              now, Cause.HOST))
+            block_id = block.block_id
             for lsn, slot in zip(write_lsns, slots):
-                self.subpage_map.bind(lsn, PPA(block.block_id, page, slot))
+                bind(lsn, PPA(block_id, page, slot))
             level = block.level if block.level is not None else 0
-            self.stats.note_level_write(level)
+            stats.note_level_write(level)
         return ops
 
     def _collect_siblings(self, lpn: int, chunk: list[int], now: float,
@@ -113,7 +118,7 @@ class BaselineFTL(BaseFTL):
             ops.append(OpRecord(
                 kind=OpKind.READ, block_id=block_id, page=page,
                 n_slots=len(slots),
-                is_slc=self.flash.block(block_id).mode.is_slc,
+                is_slc=self.flash.block(block_id).is_slc,
                 cause=Cause.HOST,
                 ecc_ms=self.ecc.decode_ms_for_subpages(rbers),
             ))

@@ -84,20 +84,25 @@ class GarbageCollector:
         #: Victim currently being drained, and the next page to examine.
         self._victim: Block | None = None
         self._drain_page = 0
+        # Both thresholds depend only on the (fixed) region size and
+        # config percentages — precompute once, the trigger check runs on
+        # every host op.
+        from .allocator import GC_RESERVE_BLOCKS
+        total = allocator.total_blocks
+        self._threshold = max(GC_RESERVE_BLOCKS + 2,
+                              math.ceil(total * cache.gc_threshold))
+        self._restore = max(self._threshold + 1,
+                            math.ceil(total * cache.gc_restore))
 
     # -- triggers -----------------------------------------------------------
 
     def _threshold_blocks(self) -> int:
         # The floor must sit above the allocator's host reserve, or the
         # pool parks exactly at the reserve with the trigger never firing.
-        from .allocator import GC_RESERVE_BLOCKS
-        total = self.allocator.total_blocks
-        return max(GC_RESERVE_BLOCKS + 2, math.ceil(total * self.cache.gc_threshold))
+        return self._threshold
 
     def _restore_blocks(self) -> int:
-        total = self.allocator.total_blocks
-        return max(self._threshold_blocks() + 1,
-                   math.ceil(total * self.cache.gc_restore))
+        return self._restore
 
     def needs_collection(self) -> bool:
         """Whether the free pool dropped below the GC threshold.
@@ -106,7 +111,7 @@ class GarbageCollector:
         completely dry before the percentage threshold can trip (GC itself
         needs at least one free block to relocate into).
         """
-        return self.allocator.free_blocks < self._threshold_blocks()
+        return self.allocator.free_blocks < self._threshold
 
     @property
     def draining(self) -> bool:
@@ -115,9 +120,13 @@ class GarbageCollector:
 
     def maybe_collect(self, now: float) -> list[OpRecord]:
         """One incremental GC step: continue or start a drain if needed."""
-        if self._collecting:
+        # Checked on every host request for both regions — the usual
+        # answer is "nothing to do", so take it without going through the
+        # ``draining``/``needs_collection`` call frames.
+        if (self._victim is None
+                and self.allocator.free_blocks >= self._threshold):
             return []
-        if not self.draining and not self.needs_collection():
+        if self._collecting:
             return []
         self._collecting = True
         try:
@@ -126,11 +135,10 @@ class GarbageCollector:
             budget = self.cache.gc_pages_per_trigger
             while budget > 0:
                 if self._victim is None:
-                    if (self.allocator.free_blocks >= self._restore_blocks()
+                    if (self.allocator.free_blocks >= self._restore
                             or started >= self.cache.gc_max_blocks_per_trigger):
                         break
-                    victim = self.policy.select(
-                        self.allocator.victim_candidates(), now)
+                    victim = self._select(now)
                     if victim is None:
                         break
                     self._begin(victim)
@@ -144,13 +152,22 @@ class GarbageCollector:
 
     # -- mechanics ----------------------------------------------------------------
 
+    def _select(self, now: float) -> Block | None:
+        """Victim selection through the allocator's incremental index when
+        both sides support it; naive candidate scan otherwise."""
+        index = getattr(self.allocator, "victim_index", None)
+        select_indexed = getattr(self.policy, "select_indexed", None)
+        if index is not None and select_indexed is not None:
+            return select_indexed(index, now)
+        return self.policy.select(self.allocator.victim_candidates(), now)
+
     def _begin(self, victim: Block) -> None:
         level = victim.level if victim.level is not None else 0
         self.stats.utilization_sum += victim.n_programmed / victim.total_subpages
         self.stats.utilization_blocks += 1
         self.stats.victims_by_level[level] = (
             self.stats.victims_by_level.get(level, 0) + 1)
-        victim.state = BlockState.VICTIM
+        victim.mark_victim()
         self._victim = victim
         self._drain_page = 0
 
@@ -170,14 +187,15 @@ class GarbageCollector:
             slots = victim.valid_slots_of_page(page)
             if not slots:
                 continue
-            lsns = [int(victim.slot_lsn[page, s]) for s in slots]
+            lsn_row = victim.slot_lsn[page].tolist()
+            lsns = [lsn_row[s] for s in slots]
             rbers = self.flash.read(victim.block_id, page, slots, now)
             ops.append(OpRecord(
                 kind=OpKind.READ,
                 block_id=victim.block_id,
                 page=page,
                 n_slots=len(slots),
-                is_slc=victim.mode.is_slc,
+                is_slc=victim.is_slc,
                 cause=Cause.GC,
                 ecc_ms=self.ecc.decode_ms_for_subpages(rbers),
             ))
@@ -194,7 +212,7 @@ class GarbageCollector:
                 block_id=victim.block_id,
                 page=0,
                 n_slots=0,
-                is_slc=victim.mode.is_slc,
+                is_slc=victim.is_slc,
                 cause=Cause.GC,
             ))
             self.allocator.release(victim.block_id)
@@ -230,7 +248,7 @@ class GarbageCollector:
                 while self._victim is not None:
                     self._drain_step(now, victim.pages + 1, ops)
                 return ops
-            victim = self.policy.select(self.allocator.victim_candidates(), now)
+            victim = self._select(now)
             if victim is None:
                 return ops
             self._begin(victim)
@@ -252,7 +270,7 @@ class GarbageCollector:
         if source is None or source.state is not BlockState.FULL:
             return []
         ops: list[OpRecord] = []
-        source.state = BlockState.VICTIM
+        source.mark_victim()
         for page in range(source.next_page):
             slots = source.valid_slots_of_page(page)
             if not slots:
@@ -261,7 +279,7 @@ class GarbageCollector:
             rbers = self.flash.read(source.block_id, page, slots, now)
             ops.append(OpRecord(
                 kind=OpKind.READ, block_id=source.block_id, page=page,
-                n_slots=len(slots), is_slc=source.mode.is_slc,
+                n_slots=len(slots), is_slc=source.is_slc,
                 cause=Cause.WEAR,
                 ecc_ms=self.ecc.decode_ms_for_subpages(rbers),
             ))
@@ -271,7 +289,7 @@ class GarbageCollector:
         self.flash.erase(source.block_id)
         ops.append(OpRecord(
             kind=OpKind.ERASE, block_id=source.block_id, page=0, n_slots=0,
-            is_slc=source.mode.is_slc, cause=Cause.WEAR,
+            is_slc=source.is_slc, cause=Cause.WEAR,
         ))
         self.allocator.release(source.block_id)
         self.wear.note_erase()

@@ -112,7 +112,8 @@ class MGAFTL(BaseFTL):
 
     def write(self, lsns: list[int], now: float) -> list[OpRecord]:
         ops: list[OpRecord] = []
-        if any(lsn in self.subpage_map for lsn in lsns):
+        lookup = self.subpage_map.lookup
+        if any(lookup(lsn) is not None for lsn in lsns):
             self.stats.update_writes += 1
         else:
             self.stats.new_data_writes += 1
@@ -144,7 +145,7 @@ class MGAFTL(BaseFTL):
                 self.subpage_map.bind(lsn, PPA(block.block_id, page, slot))
             level = block.level if block.level is not None else 0
             self.stats.note_level_write(level)
-            if len(block.free_slots_of_page(page)) == 0 or (
+            if block.page_programmed[page] == block.spp or (
                     block.program_count[page]
                     >= self.config.reliability.max_page_programs):
                 self._pack = None

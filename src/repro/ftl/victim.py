@@ -1,25 +1,63 @@
 """GC victim-selection policies.
 
 * :class:`GreedyVictimPolicy` — the conventional policy (Baseline, MGA,
-  and both schemes' high-density region): scan every candidate and pick
-  the block that frees the most space.
+  and both schemes' high-density region): pick the block that frees the
+  most space.
+* :class:`GreedyPageVictimPolicy` — greedy on reclaimable *whole pages*,
+  for schemes whose GC moves pages one-to-one without compaction.
 * :class:`IsrVictimPolicy` — IPU's policy: pick the block with the largest
   invalid-subpage ratio including the coldness weight of Equation 2, so
   blocks full of cold valid data are preferred and their data gets sifted
   down the level hierarchy.
 
-Both policies time their scans with :func:`time.perf_counter`; the
-accumulated wall time feeds the computation-overhead experiment
-(Figure 12).
+Every policy offers two equivalent selection paths:
+
+* ``select(candidates, now)`` — the naive reference scan over an explicit
+  candidate list.  Kept deliberately simple; the property tests
+  (``tests/test_victim_properties.py``) use it as the ground truth.
+* ``select_indexed(index, now)`` — the fast path over a
+  :class:`~repro.ftl.allocator.VictimIndex`, whose incrementally-maintained
+  score arrays turn a selection into O(dirty) patches plus one vectorised
+  ``argmax``.  Both paths return the same block for the same device state.
+
+**Tie-breaking rule (all policies):** among candidates with the same best
+score, the lowest ``block_id`` wins, regardless of candidate iteration
+order.  The indexed path gets this for free — ``np.argmax`` returns the
+*first* maximum of the ascending-``block_id`` score array — and the naive
+scan implements it explicitly.
+
+**Scan-cost accounting** is split into two channels so the host-side
+optimisation cannot distort the paper's Figure 12:
+
+* ``scan_seconds`` — measured host wall time (:func:`time.perf_counter`),
+  a nondeterministic diagnostic;
+* ``scanned_blocks`` / ``modelled_scan_ms`` — the *modelled* cost of the
+  scan the device firmware would perform: every candidate block examined
+  is charged a per-block constant (ISR pays more per block, it reads the
+  stored 4-byte IS' record of Section 4.4.1 on top of the invalid
+  counter).  This count is deterministic and independent of how fast the
+  simulator happens to evaluate the scan.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
+
+import numpy as np
 
 from ..nand.block import Block
 from .hotcold import block_age_sum, block_coldness
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (allocator imports us)
+    from .allocator import VictimIndex
+
+#: Modelled firmware cost of examining one candidate in a greedy scan
+#: (read one on-chip counter, one compare).
+MODELLED_SCAN_NS_PER_BLOCK_GREEDY = 100.0
+#: ISR additionally reads the stored 4-byte IS' record per block
+#: (Section 4.4.1), modelled at 2.5x the greedy per-block cost.
+MODELLED_SCAN_NS_PER_BLOCK_ISR = 250.0
 
 
 class VictimPolicy(Protocol):
@@ -28,18 +66,42 @@ class VictimPolicy(Protocol):
     #: Accumulated selection wall time (seconds) and scan count.
     scan_seconds: float
     scans: int
+    #: Deterministic count of candidate blocks examined over all scans.
+    scanned_blocks: int
 
     def select(self, candidates: list[Block], now: float) -> Block | None:
         """Return the victim, or None when no candidate is worth collecting."""
         ...  # pragma: no cover
 
+    def select_indexed(self, index: "VictimIndex", now: float) -> Block | None:
+        """Same selection served from the incremental victim index."""
+        ...  # pragma: no cover
 
-class GreedyVictimPolicy:
-    """Pick the block with the most reclaimable subpages."""
+
+class _ScanAccounting:
+    """Shared wall-time + modelled-cost bookkeeping."""
+
+    #: Per-block modelled scan cost; subclasses override.
+    modelled_ns_per_block = MODELLED_SCAN_NS_PER_BLOCK_GREEDY
 
     def __init__(self):
         self.scan_seconds = 0.0
         self.scans = 0
+        self.scanned_blocks = 0
+
+    @property
+    def modelled_scan_ms(self) -> float:
+        """Deterministic modelled scan cost over all selections (Figure 12)."""
+        return self.scanned_blocks * self.modelled_ns_per_block * 1e-6
+
+
+class GreedyVictimPolicy(_ScanAccounting):
+    """Pick the block with the most reclaimable subpages.
+
+    Ties on the score are broken to the **lowest** ``block_id``, whatever
+    order the candidates arrive in, so selection is a pure function of
+    device state.
+    """
 
     def select(self, candidates: list[Block], now: float) -> Block | None:
         start = time.perf_counter()
@@ -51,40 +113,69 @@ class GreedyVictimPolicy:
                                       and score > 0 and block.block_id < best.block_id):
                 best = block
                 best_score = score
-        self.scan_seconds += time.perf_counter() - start
         self.scans += 1
+        self.scanned_blocks += len(candidates)
+        self.scan_seconds += time.perf_counter() - start
         return best if best_score > 0 else None
 
+    def select_indexed(self, index: "VictimIndex", now: float) -> Block | None:
+        start = time.perf_counter()
+        blocks = index.refresh()
+        best: Block | None = None
+        if blocks:
+            scores = index.total_sp_arr - index.n_valid_arr
+            i = int(np.argmax(scores))  # first max == lowest block_id
+            if scores[i] > 0:
+                best = blocks[i]
+        self.scans += 1
+        self.scanned_blocks += len(blocks)
+        self.scan_seconds += time.perf_counter() - start
+        return best
 
-class GreedyPageVictimPolicy:
+
+class GreedyPageVictimPolicy(_ScanAccounting):
     """Pick the block that frees the most whole pages.
 
     The right greedy metric for schemes whose GC moves pages one-to-one
     without compaction (Baseline's positional layout, IPU's extent-grouped
     pages): a page with any valid slot costs a full destination page, so
     only fully-invalid (or never-programmed) pages actually free space.
-    """
 
-    def __init__(self):
-        self.scan_seconds = 0.0
-        self.scans = 0
+    Ties are broken to the lowest ``block_id`` regardless of candidate
+    iteration order.
+    """
 
     def select(self, candidates: list[Block], now: float) -> Block | None:
         start = time.perf_counter()
         best: Block | None = None
         best_score = 0
         for block in candidates:
-            pages_with_valid = int(block.valid.any(axis=1).sum())
-            score = block.pages - pages_with_valid
-            if score > best_score:
+            score = block.pages - block.pages_with_valid
+            if score > best_score or (score == best_score and best is not None
+                                      and score > 0 and block.block_id < best.block_id):
                 best = block
                 best_score = score
-        self.scan_seconds += time.perf_counter() - start
         self.scans += 1
+        self.scanned_blocks += len(candidates)
+        self.scan_seconds += time.perf_counter() - start
         return best if best_score > 0 else None
 
+    def select_indexed(self, index: "VictimIndex", now: float) -> Block | None:
+        start = time.perf_counter()
+        blocks = index.refresh()
+        best: Block | None = None
+        if blocks:
+            scores = index.pages_free_arr
+            i = int(np.argmax(scores))  # first max == lowest block_id
+            if scores[i] > 0:
+                best = blocks[i]
+        self.scans += 1
+        self.scanned_blocks += len(blocks)
+        self.scan_seconds += time.perf_counter() - start
+        return best
 
-class IsrVictimPolicy:
+
+class IsrVictimPolicy(_ScanAccounting):
     """Pick the block with the largest ISR (Equations 1 and 2).
 
     ``T`` is the region-wide mean age of valid subpages (see
@@ -93,12 +184,20 @@ class IsrVictimPolicy:
     sums and coldness terms are cached and only recomputed when the
     block's content changed or the cached value is older than
     ``refresh_ms``, so a GC scan is one comparison per block instead of
-    one Equation-2 evaluation per subpage.
+    one Equation-2 evaluation per subpage.  (Equation 2 itself is
+    evaluated as one vectorised ``np.exp`` over the block's subpages when
+    a cache entry does need recomputing; batching *across* blocks would
+    change summation grouping and is deliberately avoided to keep results
+    byte-identical to the scalar reference.)
+
+    Ties on the ISR score are broken to the lowest ``block_id`` regardless
+    of candidate iteration order.
     """
 
+    modelled_ns_per_block = MODELLED_SCAN_NS_PER_BLOCK_ISR
+
     def __init__(self, refresh_ms: float = 100.0):
-        self.scan_seconds = 0.0
-        self.scans = 0
+        super().__init__()
         self.refresh_ms = refresh_ms
         #: block_id -> (content_epoch, computed_at, age_sum, n_valid)
         self._age_cache: dict[int, tuple[int, float, float, int]] = {}
@@ -141,9 +240,19 @@ class IsrVictimPolicy:
         for block in candidates:
             score = (block.n_invalid
                      + self._coldness(block, now, t_mean)) / block.total_subpages
-            if score > best_score:
+            if score > best_score or (score == best_score and best is not None
+                                      and score > 0.0
+                                      and block.block_id < best.block_id):
                 best = block
                 best_score = score
-        self.scan_seconds += time.perf_counter() - start
         self.scans += 1
+        self.scanned_blocks += len(candidates)
+        self.scan_seconds += time.perf_counter() - start
         return best if best_score > 0.0 else None
+
+    def select_indexed(self, index: "VictimIndex", now: float) -> Block | None:
+        # The index supplies the candidate set without an O(region) state
+        # scan; the ISR accumulation itself must stay the sequential
+        # scalar loop (identical float-summation order) and already runs
+        # in O(candidates) dictionary hits thanks to the stored-IS' cache.
+        return self.select(index.candidates(), now)

@@ -51,17 +51,21 @@ class Block:
     """
 
     __slots__ = (
-        "block_id", "mode", "pages", "spp", "erase_count", "next_page",
+        "block_id", "mode", "is_slc", "pages", "spp", "erase_count", "next_page",
         "state", "level", "programmed", "valid", "program_count",
         "slot_lsn", "slot_time", "slot_program_time", "disturb_in",
         "disturb_nb", "page_updated",
         "n_valid", "n_invalid", "n_programmed", "alloc_time", "content_epoch",
-        "read_count",
+        "read_count", "page_valid", "page_programmed", "pages_with_valid",
+        "counters", "index",
     )
 
     def __init__(self, block_id: int, mode: CellMode, pages: int, subpages_per_page: int):
         self.block_id = block_id
         self.mode = mode
+        #: Cached ``mode.is_slc`` — the enum property is too hot to call
+        #: per operation, and a block's mode never changes.
+        self.is_slc = mode.is_slc
         self.pages = pages
         self.spp = subpages_per_page
         self.erase_count = 0
@@ -81,8 +85,12 @@ class Block:
             #: here; ``slot_time`` is the last *access* Equation 2 uses).
             self.slot_program_time = np.zeros((pages, subpages_per_page),
                                               dtype=np.float64)
-            self.disturb_in = np.zeros((pages, subpages_per_page), dtype=np.uint32)
-            self.disturb_nb = np.zeros((pages, subpages_per_page), dtype=np.uint32)
+            # Disturb counters live as plain nested lists: they take one
+            # increment per affected slot per partial pass and scalar
+            # int arithmetic beats numpy element access by an order of
+            # magnitude at subpage granularity.
+            self.disturb_in = [[0] * subpages_per_page for _ in range(pages)]
+            self.disturb_nb = [[0] * subpages_per_page for _ in range(pages)]
             self.page_updated = np.zeros(pages, dtype=bool)
         else:
             self.slot_time = None
@@ -99,6 +107,22 @@ class Block:
         self.content_epoch = 0
         #: Reads served by this block since its last erase (read disturb).
         self.read_count = 0
+        #: Per-page count of valid subpages and the number of pages with at
+        #: least one valid subpage — maintained on program/invalidate/erase
+        #: so whole-page victim scoring never rescans ``valid``.
+        self.page_valid = [0] * pages
+        #: Per-page count of programmed subpages — lets the disturb and
+        #: partial-program checks skip re-summing ``programmed`` rows.
+        self.page_programmed = [0] * pages
+        self.pages_with_valid = 0
+        #: Optional region-counter watcher (see
+        #: :class:`repro.nand.flash.RegionCounters`); notified on
+        #: program/invalidate/erase/open so region occupancy is O(1).
+        self.counters = None
+        #: Optional victim-score watcher (see
+        #: :class:`repro.ftl.allocator.VictimIndex`); notified on content
+        #: mutations and candidate-set transitions.
+        self.index = None
 
     # -- capacity queries ----------------------------------------------
 
@@ -119,13 +143,17 @@ class Block:
 
     def free_slots_of_page(self, page: int) -> list[int]:
         """Unprogrammed slot indices of ``page`` (ascending)."""
-        row = self.programmed[page]
-        return [s for s in range(self.spp) if not row[s]]
+        if self.page_programmed[page] == self.spp:
+            return []
+        row = self.programmed[page].tolist()
+        return [s for s, hit in enumerate(row) if not hit]
 
     def valid_slots_of_page(self, page: int) -> list[int]:
         """Slot indices of ``page`` currently holding live data."""
-        row = self.valid[page]
-        return [s for s in range(self.spp) if row[s]]
+        if self.page_valid[page] == 0:
+            return []
+        row = self.valid[page].tolist()
+        return [s for s, hit in enumerate(row) if hit]
 
     def can_partial_program(self, page: int, nslots: int, max_programs: int) -> bool:
         """Whether ``nslots`` more subpages fit into ``page`` in one more pass."""
@@ -133,7 +161,7 @@ class Block:
             return False
         if self.program_count[page] >= max_programs:
             return False
-        return int((~self.programmed[page]).sum()) >= nslots
+        return self.spp - self.page_programmed[page] >= nslots
 
     # -- mutation -------------------------------------------------------
 
@@ -145,10 +173,11 @@ class Block:
         Raises on out-of-order initial programs, slot reuse, or exceeding
         the per-page program-pass limit.
         """
-        if len(slots) != len(lsns) or not slots:
+        n = len(slots)
+        if n != len(lsns) or not n:
             raise SubpageStateError(
                 f"block {self.block_id}: slots/lsns mismatch ({slots} vs {lsns})")
-        if len(set(slots)) != len(slots):
+        if n > 1 and len(set(slots)) != n:
             raise SubpageStateError(f"block {self.block_id}: duplicate slots {slots}")
         if self.state not in (BlockState.OPEN, BlockState.FULL):
             raise SubpageStateError(
@@ -159,7 +188,7 @@ class Block:
             self.next_page += 1
         elif 0 <= page < self.next_page:
             partial = True
-            if not self.mode.is_slc:
+            if not self.is_slc:
                 raise SubpageStateError(
                     f"block {self.block_id}: partial programming requires SLC mode")
             if self.program_count[page] >= max_programs:
@@ -179,19 +208,47 @@ class Block:
                 raise SubpageStateError(
                     f"block {self.block_id} page {page} slot {slot}: already programmed")
 
-        for slot, lsn in zip(slots, lsns):
-            row[slot] = True
-            self.valid[page, slot] = True
-            self.slot_lsn[page, slot] = lsn
-            if self.mode.is_slc:
-                self.slot_time[page, slot] = now
-                self.slot_program_time[page, slot] = now
+        # Scalar per-slot stores: a pass writes 1-4 subpages, where numpy
+        # fancy indexing costs far more than direct item assignment.
+        valid_row = self.valid[page]
+        lsn_row = self.slot_lsn[page]
+        if self.is_slc:
+            time_row = self.slot_time[page]
+            ptime_row = self.slot_program_time[page]
+            for i in range(n):
+                slot = slots[i]
+                row[slot] = True
+                valid_row[slot] = True
+                lsn_row[slot] = lsns[i]
+                time_row[slot] = now
+                ptime_row[slot] = now
+        else:
+            for i in range(n):
+                slot = slots[i]
+                row[slot] = True
+                valid_row[slot] = True
+                lsn_row[slot] = lsns[i]
         self.program_count[page] += 1
-        self.n_programmed += len(slots)
-        self.n_valid += len(slots)
-        if self.is_full and self.state is BlockState.OPEN:
+        self.n_programmed += n
+        self.n_valid += n
+        self.page_programmed[page] += n
+        before = self.page_valid[page]
+        self.page_valid[page] = before + n
+        if before == 0:
+            self.pages_with_valid += 1
+        became_full = self.next_page >= self.pages and self.state is BlockState.OPEN
+        if became_full:
             self.state = BlockState.FULL
         self.content_epoch += 1
+        counters = self.counters
+        if counters is not None:
+            counters.note_program(n)
+        index = self.index
+        if index is not None:
+            if became_full:
+                index.note_enter(self)
+            else:
+                index.note_change(self.block_id)
         return partial
 
     def reprogram_pass(self, page: int, max_programs: int) -> int:
@@ -201,7 +258,7 @@ class Block:
         counts against the manufacturer limit and disturbs the page and
         its neighbours like any other pass.  Returns the number of valid
         in-page subpages disturbed."""
-        if not self.mode.is_slc:
+        if not self.is_slc:
             raise SubpageStateError(
                 f"block {self.block_id}: partial programming requires SLC mode")
         if not 0 <= page < self.next_page:
@@ -213,17 +270,31 @@ class Block:
                 f"{self.program_count[page]} passes >= limit {max_programs}")
         self.program_count[page] += 1
         self.content_epoch += 1
+        index = self.index
+        if index is not None:
+            index.note_change(self.block_id)
         return self.add_disturb(page, [])
 
     def invalidate(self, page: int, slot: int) -> None:
         """Mark one live subpage obsolete."""
-        if not self.valid[page, slot]:
+        row = self.valid[page]
+        if not row[slot]:
             raise SubpageStateError(
                 f"block {self.block_id} page {page} slot {slot}: not valid")
-        self.valid[page, slot] = False
+        row[slot] = False
         self.n_valid -= 1
         self.n_invalid += 1
+        remaining = self.page_valid[page] - 1
+        self.page_valid[page] = remaining
+        if remaining == 0:
+            self.pages_with_valid -= 1
         self.content_epoch += 1
+        counters = self.counters
+        if counters is not None:
+            counters.note_invalidate()
+        index = self.index
+        if index is not None:
+            index.note_change(self.block_id)
 
     def mark_page_updated(self, page: int) -> None:
         """Record that the data resident in ``page`` was updated while the
@@ -231,13 +302,17 @@ class Block:
         if self.page_updated is not None:
             self.page_updated[page] = True
             self.content_epoch += 1
+            index = self.index
+            if index is not None:
+                index.note_change(self.block_id)
 
     def touch(self, page: int, slots: list[int], now: float) -> None:
         """Refresh the last-access time of subpages (reads count as access
         for the coldness estimate of Equation 2)."""
         if self.slot_time is not None:
+            row = self.slot_time[page]
             for slot in slots:
-                self.slot_time[page, slot] = now
+                row[slot] = now
 
     def add_disturb(self, page: int, written_slots: list[int]) -> int:
         """Apply program-disturb bookkeeping for one partial-program pass.
@@ -252,16 +327,30 @@ class Block:
             raise SubpageStateError("disturb tracking only exists for SLC-mode blocks")
         written = set(written_slots)
         hit_valid = 0
-        for slot in range(self.spp):
-            if slot in written or not self.programmed[page, slot]:
+        spp = self.spp
+        prow = self.programmed[page].tolist()
+        vrow = self.valid[page].tolist()
+        drow = self.disturb_in[page]
+        for slot in range(spp):
+            if slot in written or not prow[slot]:
                 continue
-            self.disturb_in[page, slot] += 1
-            if self.valid[page, slot]:
+            drow[slot] += 1
+            if vrow[slot]:
                 hit_valid += 1
+        nb = self.disturb_nb
+        page_programmed = self.page_programmed
         for npage in (page - 1, page + 1):
             if 0 <= npage < self.next_page:
-                mask = self.programmed[npage]
-                self.disturb_nb[npage][mask] += 1
+                hit = page_programmed[npage]
+                nrow = nb[npage]
+                if hit == spp:
+                    for slot in range(spp):
+                        nrow[slot] += 1
+                elif hit:
+                    nprow = self.programmed[npage].tolist()
+                    for slot in range(spp):
+                        if nprow[slot]:
+                            nrow[slot] += 1
         return hit_valid
 
     def erase(self) -> None:
@@ -271,6 +360,12 @@ class Block:
                 f"block {self.block_id}: erase with {self.n_valid} valid subpages")
         if self.state is BlockState.FREE:
             raise EraseError(f"block {self.block_id}: erase of a free block")
+        counters = self.counters
+        if counters is not None:
+            counters.note_erase(self)
+        index = self.index
+        if index is not None:
+            index.note_leave(self.block_id)
         self.erase_count += 1
         self.next_page = 0
         self.state = BlockState.FREE
@@ -279,15 +374,19 @@ class Block:
         self.valid[:] = False
         self.program_count[:] = 0
         self.slot_lsn[:] = NO_LSN
-        if self.mode.is_slc:
+        if self.is_slc:
             self.slot_time[:] = 0.0
             self.slot_program_time[:] = 0.0
-            self.disturb_in[:] = 0
-            self.disturb_nb[:] = 0
+            self.disturb_in = [[0] * self.spp for _ in range(self.pages)]
+            self.disturb_nb = [[0] * self.spp for _ in range(self.pages)]
             self.page_updated[:] = False
         self.n_valid = 0
         self.n_invalid = 0
         self.n_programmed = 0
+        for page in range(self.pages):
+            self.page_valid[page] = 0
+            self.page_programmed[page] = 0
+        self.pages_with_valid = 0
         self.content_epoch += 1
         self.read_count = 0
 
@@ -299,6 +398,17 @@ class Block:
         self.state = BlockState.OPEN
         self.level = level
         self.alloc_time = now
+        counters = self.counters
+        if counters is not None:
+            counters.note_open()
+
+    def mark_victim(self) -> None:
+        """Transition FULL → VICTIM (GC drain started).  Removes the block
+        from the victim index so it cannot be selected twice."""
+        index = self.index
+        if index is not None:
+            index.note_leave(self.block_id)
+        self.state = BlockState.VICTIM
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Block({self.block_id}, {self.mode.value}, {self.state.value}, "

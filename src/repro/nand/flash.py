@@ -31,6 +31,50 @@ class ProgramResult(NamedTuple):
     disturbed_valid: int     #: valid in-page subpages hit by disturb
 
 
+class RegionCounters:
+    """O(1) occupancy counters for one region.
+
+    Maintained by :class:`~repro.nand.block.Block` watcher callbacks on
+    program/invalidate/erase/open, so :meth:`FlashArray.region_summary`
+    never re-sums every block.  ``note_erase`` runs *before* the block
+    resets its own counters, so the departing occupancy is still visible.
+    """
+
+    __slots__ = ("blocks", "free_blocks", "valid_subpages",
+                 "invalid_subpages", "programmed_subpages")
+
+    def __init__(self, region_blocks: list[Block]):
+        self.blocks = len(region_blocks)
+        self.free_blocks = 0
+        self.valid_subpages = 0
+        self.invalid_subpages = 0
+        self.programmed_subpages = 0
+        for block in region_blocks:
+            block.counters = self
+            if block.state is BlockState.FREE:
+                self.free_blocks += 1
+            self.valid_subpages += block.n_valid
+            self.invalid_subpages += block.n_invalid
+            self.programmed_subpages += block.n_programmed
+
+    def note_open(self) -> None:
+        self.free_blocks -= 1
+
+    def note_program(self, n: int) -> None:
+        self.programmed_subpages += n
+        self.valid_subpages += n
+
+    def note_invalidate(self) -> None:
+        self.valid_subpages -= 1
+        self.invalid_subpages += 1
+
+    def note_erase(self, block: Block) -> None:
+        self.free_blocks += 1
+        self.valid_subpages -= block.n_valid
+        self.invalid_subpages -= block.n_invalid
+        self.programmed_subpages -= block.n_programmed
+
+
 class FlashArray:
     """Physical flash device: blocks, regions, wear and disturb."""
 
@@ -54,6 +98,9 @@ class FlashArray:
             pages = g.pages_per_block(mode.is_slc)
             self.blocks.append(Block(block_id, mode, pages, g.subpages_per_page))
             (self.slc_block_ids if mode.is_slc else self.mlc_block_ids).append(block_id)
+
+        self.slc_counters = RegionCounters([self.blocks[i] for i in self.slc_block_ids])
+        self.mlc_counters = RegionCounters([self.blocks[i] for i in self.mlc_block_ids])
 
         self.erases_slc = 0
         self.erases_mlc = 0
@@ -92,9 +139,28 @@ class FlashArray:
         extra = (block.read_count * rel.read_disturb_unit_ratio
                  * self.rber.disturb_unit(pe)
                  if rel.read_disturb_unit_ratio else 0.0)
-        if block.mode.is_slc:
-            n_in = block.disturb_in[page, slot_list]
-            n_nb = block.disturb_nb[page, slot_list]
+        if block.is_slc:
+            if len(slot_list) == 1:
+                # Scalar fast path for the dominant single-subpage read:
+                # the arithmetic mirrors ``subpage_rber_array`` operation
+                # for operation, so the value is bit-identical to the
+                # vectorised gather below.
+                s = slot_list[0]
+                unit = self.rber.disturb_unit(pe)
+                ratio = rel.neighbor_disturb_ratio
+                value = self.rber.base(pe, True) + unit * (
+                    float(block.disturb_in[page][s])
+                    + ratio * float(block.disturb_nb[page][s]))
+                value = value + extra
+                if rel.retention_unit_per_ms and now is not None:
+                    age = now - float(block.slot_program_time[page, s])
+                    value = value + (max(age, 0.0)
+                                     * rel.retention_unit_per_ms * unit)
+                return np.array([value], dtype=np.float64)
+            irow = block.disturb_in[page]
+            nrow = block.disturb_nb[page]
+            n_in = np.array([irow[s] for s in slot_list], dtype=np.float64)
+            n_nb = np.array([nrow[s] for s in slot_list], dtype=np.float64)
             rbers = self.rber.subpage_rber_array(pe, True, n_in, n_nb) + extra
             if rel.retention_unit_per_ms and now is not None:
                 ages = now - block.slot_program_time[page, slot_list]
@@ -125,7 +191,7 @@ class FlashArray:
             disturbed = block.add_disturb(page, slots)
             self.partial_programs += 1
             self.disturbed_valid_subpages += disturbed
-        if block.mode.is_slc:
+        if block.is_slc:
             self.programs_slc += 1
         else:
             self.programs_mlc += 1
@@ -138,7 +204,7 @@ class FlashArray:
             page, self.config.reliability.max_page_programs)
         self.partial_programs += 1
         self.disturbed_valid_subpages += disturbed
-        if block.mode.is_slc:
+        if block.is_slc:
             self.programs_slc += 1
         else:  # pragma: no cover - reprogram_pass already rejects MLC
             self.programs_mlc += 1
@@ -147,10 +213,13 @@ class FlashArray:
     def read(self, block_id: int, page: int, slots: list[int], now: float) -> np.ndarray:
         """Read subpages: returns their RBERs and refreshes access times."""
         block = self.blocks[block_id]
-        for slot in slots:
-            if not block.programmed[page, slot]:
-                raise FlashError(
-                    f"block {block_id} page {page} slot {slot}: read of unwritten subpage")
+        if block.page_programmed[page] != block.spp:
+            prow = block.programmed[page].tolist()
+            for slot in slots:
+                if not prow[slot]:
+                    raise FlashError(
+                        f"block {block_id} page {page} slot {slot}: "
+                        f"read of unwritten subpage")
         rbers = self.subpage_rbers(block_id, page, slots, now=now)
         block.read_count += 1
         block.touch(page, slots, now)
@@ -164,7 +233,7 @@ class FlashArray:
         """Erase a drained block; returns its new erase count."""
         block = self.blocks[block_id]
         block.erase()
-        if block.mode.is_slc:
+        if block.is_slc:
             self.erases_slc += 1
         else:
             self.erases_mlc += 1
@@ -177,13 +246,39 @@ class FlashArray:
         return np.array([b.erase_count for b in self.region_blocks(slc)], dtype=np.int64)
 
     def region_summary(self, slc: bool) -> dict[str, float]:
-        """Aggregate occupancy snapshot of one region."""
-        blocks = self.region_blocks(slc)
+        """Aggregate occupancy snapshot of one region (O(1): served from
+        :class:`RegionCounters`, which the blocks keep current)."""
+        counters = self.slc_counters if slc else self.mlc_counters
         return {
-            "blocks": len(blocks),
-            "free_blocks": sum(1 for b in blocks if b.state is BlockState.FREE),
-            "valid_subpages": sum(b.n_valid for b in blocks),
-            "invalid_subpages": sum(b.n_invalid for b in blocks),
-            "programmed_subpages": sum(b.n_programmed for b in blocks),
+            "blocks": counters.blocks,
+            "free_blocks": counters.free_blocks,
+            "valid_subpages": counters.valid_subpages,
+            "invalid_subpages": counters.invalid_subpages,
+            "programmed_subpages": counters.programmed_subpages,
             "erases": self.erases_slc if slc else self.erases_mlc,
         }
+
+    def verify_region_counters(self) -> None:
+        """Assert the incremental region counters agree with a naive
+        re-scan of every block (consistency-hook support)."""
+        for slc, counters in ((True, self.slc_counters), (False, self.mlc_counters)):
+            blocks = self.region_blocks(slc)
+            naive = {
+                "blocks": len(blocks),
+                "free_blocks": sum(1 for b in blocks if b.state is BlockState.FREE),
+                "valid_subpages": sum(b.n_valid for b in blocks),
+                "invalid_subpages": sum(b.n_invalid for b in blocks),
+                "programmed_subpages": sum(b.n_programmed for b in blocks),
+            }
+            kept = {key: getattr(counters, key) for key in naive}
+            if kept != naive:
+                raise FlashError(
+                    f"region counters drifted ({'SLC' if slc else 'MLC'}): "
+                    f"incremental {kept} != rescan {naive}")
+            for b in blocks:
+                if b.page_programmed != b.programmed.sum(axis=1).tolist():
+                    raise FlashError(
+                        f"block {b.block_id}: page_programmed counters drifted")
+                if b.page_valid != b.valid.sum(axis=1).tolist():
+                    raise FlashError(
+                        f"block {b.block_id}: page_valid counters drifted")

@@ -21,7 +21,7 @@ from ..errors import SimulationError
 
 @dataclass(order=True, frozen=True)
 class Event:
-    """A scheduled callback."""
+    """A scheduled callback (the public face of a heap entry)."""
 
     time: float
     priority: int
@@ -30,10 +30,18 @@ class Event:
 
 
 class Engine:
-    """Minimal discrete-event engine."""
+    """Minimal discrete-event engine.
+
+    The heap stores plain ``(time, priority, seq, handler)`` tuples rather
+    than :class:`Event` instances: the dataclass-generated ``__lt__`` was
+    one of the hottest functions of a replay, while tuple comparison is a
+    single C call.  ``seq`` is unique, so the handler never participates
+    in a comparison.  Ordering is identical to the Event dataclass
+    (handler excluded from comparisons there too).
+    """
 
     def __init__(self):
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
@@ -54,7 +62,7 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {time} before now={self._now}")
         event = Event(time, priority, next(self._seq), handler)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, priority, event.seq, handler))
         return event
 
     def schedule_after(self, delay: float, handler: Callable[[], None],
@@ -68,9 +76,9 @@ class Engine:
         """Run the earliest pending event; returns False when idle."""
         if not self._heap:
             return False
-        event = heapq.heappop(self._heap)
-        self._now = event.time
-        event.handler()
+        time, _priority, _seq, handler = heapq.heappop(self._heap)
+        self._now = time
+        handler()
         self.processed += 1
         return True
 
@@ -81,7 +89,7 @@ class Engine:
         self._running = True
         try:
             while self._heap:
-                if until is not None and self._heap[0].time > until:
+                if until is not None and self._heap[0][0] > until:
                     break
                 self.step()
             if until is not None and until > self._now:

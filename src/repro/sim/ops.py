@@ -30,9 +30,16 @@ class Cause(enum.Enum):
     TRANSLATION = "xlat"   #: demand-paged mapping lookups (extension)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class OpRecord:
-    """One physical flash operation to be priced and scheduled."""
+    """One physical flash operation to be priced and scheduled.
+
+    Treated as immutable by convention (``dataclasses.replace`` derives
+    patched copies); the class is not frozen because replay creates one
+    record per physical operation and the frozen ``__init__`` goes
+    through ``object.__setattr__`` per field — measurably slower on the
+    hot path for no behavioural gain.
+    """
 
     kind: OpKind
     block_id: int

@@ -52,14 +52,20 @@ class ResourceSet:
         self.geometry = geometry
         self.chips = [Resource(f"chip{i}") for i in range(geometry.chips)]
         self.channels = [Resource(f"chan{i}") for i in range(geometry.channels)]
+        # The block→chip/channel mapping is fixed modulo arithmetic over a
+        # fixed geometry; resolve it once instead of per reservation.
+        self._pair = [
+            (self.chips[geometry.chip_of(b)], self.channels[geometry.channel_of(b)])
+            for b in range(geometry.total_blocks)
+        ]
 
     def chip_for_block(self, block_id: int) -> Resource:
         """Chip server hosting ``block_id``."""
-        return self.chips[self.geometry.chip_of(block_id)]
+        return self._pair[block_id][0]
 
     def channel_for_block(self, block_id: int) -> Resource:
         """Channel server hosting ``block_id``."""
-        return self.channels[self.geometry.channel_of(block_id)]
+        return self._pair[block_id][1]
 
     def acquire_for_block(self, block_id: int, earliest: float,
                           duration: float) -> tuple[float, float]:
@@ -69,8 +75,7 @@ class ResourceSet:
         full duration — a first-order model that slightly over-serialises
         the channel but keeps GC blocking behaviour faithful.
         """
-        chip = self.chip_for_block(block_id)
-        channel = self.channel_for_block(block_id)
+        chip, channel = self._pair[block_id]
         start = max(earliest, chip.next_free, channel.next_free)
         end = start + duration
         chip.next_free = end
@@ -94,8 +99,7 @@ class ResourceSet:
         """
         if chip_ms < 0 or channel_ms < 0:
             raise SimulationError("negative stage duration")
-        chip = self.chip_for_block(block_id)
-        channel = self.channel_for_block(block_id)
+        chip, channel = self._pair[block_id]
         first, second = (chip, channel) if chip_first else (channel, chip)
         first_ms, second_ms = ((chip_ms, channel_ms) if chip_first
                                else (channel_ms, chip_ms))

@@ -77,6 +77,10 @@ class SimulationResult:
     mlc_gc_collections: int = 0
     gc_scan_seconds: float = 0.0
     gc_scans: int = 0
+    #: Candidate blocks examined across all SLC victim selections — the
+    #: deterministic, modelled scan-work counter behind Figure 12 (host
+    #: wall time ``gc_scan_seconds`` is only a diagnostic).
+    gc_scan_blocks: int = 0
 
     slc_wear_spread: int = 0
     mlc_wear_spread: int = 0
@@ -201,7 +205,16 @@ class Simulator:
         self._subpage_bits = self.geometry.subpage_size * 8
 
     def run(self, trace: Trace) -> SimulationResult:
-        """Replay ``trace`` and aggregate the paper's metrics."""
+        """Replay ``trace`` and aggregate the paper's metrics.
+
+        :class:`~repro.traces.model.Trace` guarantees nondecreasing
+        ``times_ms`` and an open-loop replay only ever schedules arrival
+        events, so the event heap is pure overhead here: a direct
+        chronological loop visits requests in exactly the order the
+        engine would (time, then insertion order) and produces identical
+        results.  :class:`~repro.sim.engine.Engine` remains the kernel for
+        anything that schedules events dynamically.
+        """
         wall_start = time.perf_counter()
         n = len(trace)
         latencies = np.zeros(n, dtype=np.float64)
@@ -209,7 +222,6 @@ class Simulator:
         read_raw_errors = 0.0
         read_bits = 0
 
-        engine = self.engine
         resources = self.resources
         ftl = self.ftl
         timing = self.timing
@@ -218,59 +230,88 @@ class Simulator:
         observer = self.observer
         idle_gc = self.idle_gc
         idle_threshold = self.idle_threshold_ms
-        last_arrival = [0.0]
+        subpage_bits = self._subpage_bits
+        handle_write = ftl.handle_write
+        handle_read = ftl.handle_read
+        segments_ms = timing.segments_ms
+        acquire_pipelined = resources.acquire_pipelined
+        hostlike = (Cause.HOST, Cause.TRANSLATION)
+
+        pair = resources._pair
+        erase_ms = timing._erase_ms
+        transfer_unit = timing._transfer
+        read_ms = timing._read
+        write_ms = timing._write
+        erase_kind = OpKind.ERASE
+        program_kind = OpKind.PROGRAM
 
         def reserve(op, when):
             if pipelined:
-                chip_ms, chan_ms, chip_first = timing.segments_ms(op)
-                return resources.acquire_pipelined(
+                chip_ms, chan_ms, chip_first = segments_ms(op)
+                return acquire_pipelined(
                     op.block_id, when, chip_ms, chan_ms, chip_first)
-            return resources.acquire_for_block(
-                op.block_id, when, timing.duration_ms(op))
-
-        def make_arrival(idx: int, offset: int, size: int, write: bool):
-            def arrival() -> None:
-                nonlocal read_raw_errors, read_bits
-                now = engine.now
-                if idle_gc and now - last_arrival[0] >= idle_threshold:
-                    for op in ftl.idle_collect(now):
-                        reserve(op, now)
-                last_arrival[0] = now
-                lsns = list(byte_range_to_lsns(offset, size))
-                if write:
-                    ops = ftl.handle_write(lsns, now)
+            # Inlined TimingModel.duration_ms + ResourceSet.acquire_for_block
+            # (same arithmetic in the same order — the replay prices every
+            # op this way, so the two call frames per op are measurable).
+            kind = op.kind
+            if kind is erase_kind:
+                duration = erase_ms
+            else:
+                transfer = transfer_unit * (op.transfer_slots or op.n_slots)
+                if kind is program_kind:
+                    duration = transfer + write_ms[op.is_slc]
                 else:
-                    ops = ftl.handle_read(lsns, now)
-                # Host-serving ops reserve the chips first; GC and
-                # wear-levelling traffic runs behind them (background GC),
-                # delaying future requests rather than the triggering one.
-                complete = now
-                for op in ops:
-                    if op.cause not in (Cause.HOST, Cause.TRANSLATION):
-                        continue
-                    _, end = reserve(op, now)
-                    if end > complete:
-                        complete = end
-                    if (not write and op.kind is OpKind.READ
-                            and op.cause is Cause.HOST):
-                        read_raw_errors += op.raw_errors
-                        read_bits += op.n_slots * self._subpage_bits
-                for op in ops:
-                    if op.cause in (Cause.HOST, Cause.TRANSLATION):
-                        continue
-                    reserve(op, now)
-                latencies[idx] = complete - now
-                if observer is not None:
-                    observer(idx, now)
-            return arrival
+                    duration = read_ms[op.is_slc] + transfer + op.ecc_ms
+            chip, channel = pair[op.block_id]
+            start = max(when, chip.next_free, channel.next_free)
+            end = start + duration
+            chip.next_free = end
+            chip.busy_ms += duration
+            chip.operations += 1
+            channel.next_free = end
+            channel.busy_ms += duration
+            channel.operations += 1
+            return start, end
 
+        times = trace.times_ms.tolist()
+        offsets = trace.offsets.tolist()
+        sizes = trace.sizes.tolist()
+        writes = is_write.tolist()
+        last_arrival = 0.0
+        now = 0.0
         for i in range(n):
-            engine.schedule(
-                float(trace.times_ms[i]),
-                make_arrival(i, int(trace.offsets[i]), int(trace.sizes[i]),
-                             bool(is_write[i])),
-            )
-        engine.run()
+            now = times[i]
+            if idle_gc and now - last_arrival >= idle_threshold:
+                for op in ftl.idle_collect(now):
+                    reserve(op, now)
+            last_arrival = now
+            lsns = list(byte_range_to_lsns(offsets[i], sizes[i]))
+            write = writes[i]
+            if write:
+                ops = handle_write(lsns, now)
+            else:
+                ops = handle_read(lsns, now)
+            # Host-serving ops reserve the chips first; GC and
+            # wear-levelling traffic runs behind them (background GC),
+            # delaying future requests rather than the triggering one.
+            complete = now
+            for op in ops:
+                if op.cause not in hostlike:
+                    continue
+                _, end = reserve(op, now)
+                if end > complete:
+                    complete = end
+                if (not write and op.kind is OpKind.READ
+                        and op.cause is Cause.HOST):
+                    read_raw_errors += op.raw_errors
+                    read_bits += op.n_slots * subpage_bits
+            for op in ops:
+                if op.cause in hostlike:
+                    continue
+                reserve(op, now)
+            latencies[i] = complete - now
+            if observer is not None:
+                observer(i, now)
 
         flash = ftl.flash
         stats = ftl.stats
@@ -278,7 +319,7 @@ class Simulator:
             scheme=ftl.scheme_name,
             trace_name=trace.name,
             n_requests=n,
-            sim_time_ms=engine.now,
+            sim_time_ms=now,
             wall_seconds=time.perf_counter() - wall_start,
             read_latencies=latencies[~is_write],
             write_latencies=latencies[is_write],
@@ -310,6 +351,7 @@ class Simulator:
             mlc_gc_collections=ftl.mlc_gc.stats.collections,
             gc_scan_seconds=ftl.slc_gc.policy.scan_seconds,
             gc_scans=ftl.slc_gc.policy.scans,
+            gc_scan_blocks=getattr(ftl.slc_gc.policy, "scanned_blocks", 0),
             slc_wear_spread=ftl.slc_wear.spread,
             mlc_wear_spread=ftl.mlc_wear.spread,
         )
@@ -430,6 +472,7 @@ class Simulator:
             mlc_gc_collections=ftl.mlc_gc.stats.collections,
             gc_scan_seconds=ftl.slc_gc.policy.scan_seconds,
             gc_scans=ftl.slc_gc.policy.scans,
+            gc_scan_blocks=getattr(ftl.slc_gc.policy, "scanned_blocks", 0),
             slc_wear_spread=ftl.slc_wear.spread,
             mlc_wear_spread=ftl.mlc_wear.spread,
         )

@@ -13,6 +13,8 @@ MLC read at the base (undisturbed) RBER.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..config import SSDConfig
 from ..error import EccModel, RberModel
 from .ops import OpKind, OpRecord
@@ -29,16 +31,23 @@ class TimingModel:
         self.timing = config.timing
         self.ecc = ecc if ecc is not None else EccModel(config.timing, config.reliability)
         self.rber = rber if rber is not None else RberModel(config.reliability)
+        # Table 2 latencies are fixed for a config; hoist them out of the
+        # per-operation pricing path (attribute chains are hot here).
+        t = self.timing
+        self._erase_ms = t.erase_ms
+        self._transfer = t.transfer_ms_per_subpage
+        self._read = {True: t.slc_read_ms, False: t.mlc_read_ms}
+        self._write = {True: t.slc_write_ms, False: t.mlc_write_ms}
 
     def duration_ms(self, op: OpRecord) -> float:
         """Service time of one operation on its chip/channel pair."""
-        t = self.timing
-        if op.kind is OpKind.ERASE:
-            return t.erase_ms
-        transfer = t.transfer_ms_per_subpage * op.channel_slots
-        if op.kind is OpKind.PROGRAM:
-            return transfer + t.write_ms(op.is_slc)
-        return t.read_ms(op.is_slc) + transfer + op.ecc_ms
+        kind = op.kind
+        if kind is OpKind.ERASE:
+            return self._erase_ms
+        transfer = self._transfer * op.channel_slots
+        if kind is OpKind.PROGRAM:
+            return transfer + self._write[op.is_slc]
+        return self._read[op.is_slc] + transfer + op.ecc_ms
 
     def segments_ms(self, op: OpRecord) -> tuple[float, float, bool]:
         """(chip_ms, channel_ms, chip_first) for the pipelined bus model.
@@ -46,13 +55,40 @@ class TimingModel:
         ECC decode happens in the controller as data streams off the
         channel, so it is charged to the channel stage of reads.
         """
-        t = self.timing
-        if op.kind is OpKind.ERASE:
-            return t.erase_ms, 0.0, True
-        transfer = t.transfer_ms_per_subpage * op.channel_slots
-        if op.kind is OpKind.PROGRAM:
-            return t.write_ms(op.is_slc), transfer, False
-        return t.read_ms(op.is_slc), transfer + op.ecc_ms, True
+        kind = op.kind
+        if kind is OpKind.ERASE:
+            return self._erase_ms, 0.0, True
+        transfer = self._transfer * op.channel_slots
+        if kind is OpKind.PROGRAM:
+            return self._write[op.is_slc], transfer, False
+        return self._read[op.is_slc], transfer + op.ecc_ms, True
+
+    def durations_ms(self, ops: "list[OpRecord]") -> np.ndarray:
+        """Vectorised :meth:`duration_ms` over an operation batch.
+
+        One gather pass plus elementwise float64 arithmetic — element
+        ``i`` equals ``duration_ms(ops[i])`` bit for bit (the summation
+        grouping matches the scalar path; tests assert the equivalence).
+        Used by batch accounting paths (reports, the bench harness);
+        replay keeps the scalar call because it needs each op's end time
+        before pricing the next.
+        """
+        n = len(ops)
+        slots = np.fromiter((op.channel_slots for op in ops),
+                            dtype=np.float64, count=n)
+        slc = np.fromiter((op.is_slc for op in ops), dtype=bool, count=n)
+        ecc = np.fromiter((op.ecc_ms for op in ops), dtype=np.float64, count=n)
+        is_erase = np.fromiter((op.kind is OpKind.ERASE for op in ops),
+                               dtype=bool, count=n)
+        is_program = np.fromiter((op.kind is OpKind.PROGRAM for op in ops),
+                                 dtype=bool, count=n)
+        transfer = self._transfer * slots
+        read_ms = np.where(slc, self._read[True], self._read[False])
+        write_ms = np.where(slc, self._write[True], self._write[False])
+        out = read_ms + transfer + ecc
+        out[is_program] = (transfer + write_ms)[is_program]
+        out[is_erase] = self._erase_ms
+        return out
 
     def pseudo_read_ecc_ms(self) -> float:
         """ECC decode time for never-written (pre-existing MLC) data."""

@@ -168,9 +168,9 @@ class TestDisturb:
         block.program(0, [0, 1], [1, 2], 0.0, 4)
         hit = block.add_disturb(0, [2])
         assert hit == 2
-        assert block.disturb_in[0, 0] == 1
-        assert block.disturb_in[0, 1] == 1
-        assert block.disturb_in[0, 2] == 0  # just-written slot spared
+        assert block.disturb_in[0][0] == 1
+        assert block.disturb_in[0][1] == 1
+        assert block.disturb_in[0][2] == 0  # just-written slot spared
 
     def test_invalid_subpages_still_counted_in_array_not_in_hits(self):
         block = make_block()
@@ -178,7 +178,7 @@ class TestDisturb:
         block.invalidate(0, 0)
         hit = block.add_disturb(0, [2])
         assert hit == 1  # only the valid one matters
-        assert block.disturb_in[0, 0] == 1  # array still tracks programmed cells
+        assert block.disturb_in[0][0] == 1  # array still tracks programmed cells
 
     def test_neighbor_disturb(self):
         block = make_block()
@@ -186,15 +186,15 @@ class TestDisturb:
         block.program(1, [0, 1], [2, 3], 0.0, 4)
         block.program(2, [0], [4], 0.0, 4)
         block.add_disturb(1, [2])
-        assert block.disturb_nb[0, 0] == 1
-        assert block.disturb_nb[2, 0] == 1
-        assert block.disturb_nb[1, 0] == 0  # own page gets in-page, not nb
+        assert block.disturb_nb[0][0] == 1
+        assert block.disturb_nb[2][0] == 1
+        assert block.disturb_nb[1][0] == 0  # own page gets in-page, not nb
 
     def test_neighbor_disturb_edge_pages(self):
         block = make_block()
         block.program(0, [0], [1], 0.0, 4)
         block.add_disturb(0, [1])  # page -1 does not exist
-        assert int(block.disturb_nb.sum()) == 0
+        assert sum(map(sum, block.disturb_nb)) == 0
 
     def test_mlc_disturb_rejected(self):
         block = make_block(mode=CellMode.MLC)

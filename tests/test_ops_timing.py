@@ -40,10 +40,12 @@ class TestOpRecord:
         with pytest.raises(ValueError):
             op(ecc_ms=-0.1)
 
-    def test_frozen(self):
+    def test_slots_reject_new_attributes(self):
+        # OpRecord is a slots dataclass (hot-path construction cost);
+        # unknown attributes are still rejected.
         record = op()
-        with pytest.raises(Exception):
-            record.ecc_ms = 1.0
+        with pytest.raises(AttributeError):
+            record.not_a_field = 1.0
 
 
 class TestTiming:
