@@ -5,6 +5,12 @@
 metric files under ``golden/`` that ``tests/test_golden_results.py``
 guards (only needed when a deliberate behaviour change shifts the
 numbers; the commit diff then documents the shift).
+
+``--schema`` regenerates ``schema_snapshot.json`` — the committed
+``SimulationResult`` field/summary-key inventory that the ``repro-ssd
+lint`` S001 drift guard compares against (run it in the same commit
+that changes the result schema and bumps ``CACHE_SCHEMA_VERSION``; see
+``docs/STATIC_ANALYSIS.md``).
 """
 
 import json
@@ -48,8 +54,17 @@ def regenerate_golden() -> None:
         print(f"wrote {path}")
 
 
+def regenerate_schema() -> None:
+    from repro.analysis.schema import write_schema_snapshot
+
+    path = write_schema_snapshot(OUT.parent)
+    print(f"wrote {path}")
+
+
 if __name__ == "__main__":
-    if "--golden" in sys.argv:
+    if "--schema" in sys.argv:
+        regenerate_schema()
+    elif "--golden" in sys.argv:
         regenerate_golden()
     else:
         for eid in EXPERIMENTS:

@@ -1,0 +1,79 @@
+"""``repro-ssd lint`` — AST-based determinism & schema-drift analyzer.
+
+Machine-checks the repository's simulation contracts (see
+``docs/STATIC_ANALYSIS.md``):
+
+========  ==========================================================
+``D001``  randomness outside ``repro/rng.py`` (make_rng/spawn only)
+``D002``  host wall clock outside the diagnostic allowlist
+``D003``  unordered set iteration feeding simulation state
+``S001``  ``SimulationResult`` schema drift without a
+          ``CACHE_SCHEMA_VERSION`` bump (vs the committed snapshot)
+``S002``  Block counter / subpage-state writes outside ``nand/block.py``
+``C001``  magic size/latency literals outside ``repro.config``/``units``
+========  ==========================================================
+
+Pure standard library (``ast`` + ``json``): importable and runnable even
+where numpy is not, and adding a rule cannot perturb simulation results.
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    BASELINE_NAME,
+    BaselineMatch,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .config_literals import ConfigLiteralRule
+from .core import (
+    LintResult,
+    ProjectContext,
+    Rule,
+    SourceFile,
+    Violation,
+    run_lint,
+)
+from .determinism import RandomnessRule, SetIterationRule, WallClockRule
+from .schema import (
+    BlockCounterWriteRule,
+    SchemaDriftRule,
+    current_schema,
+    extract_cache_schema_version,
+    extract_result_schema,
+    write_schema_snapshot,
+)
+
+#: The rule catalogue, in report order.
+ALL_RULES: tuple[Rule, ...] = (
+    RandomnessRule(),
+    WallClockRule(),
+    SetIterationRule(),
+    SchemaDriftRule(),
+    BlockCounterWriteRule(),
+    ConfigLiteralRule(),
+)
+
+#: ``{rule_id: rule}`` lookup.
+RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "BASELINE_NAME",
+    "BaselineMatch",
+    "LintResult",
+    "ProjectContext",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "apply_baseline",
+    "current_schema",
+    "extract_cache_schema_version",
+    "extract_result_schema",
+    "load_baseline",
+    "run_lint",
+    "write_baseline",
+    "write_schema_snapshot",
+]

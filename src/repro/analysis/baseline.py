@@ -1,0 +1,86 @@
+"""Baseline / ratchet file for grandfathered lint violations.
+
+The analyzer fails on *new* violations; pre-existing ones can be
+recorded in a committed baseline (``LINT_BASELINE.json`` at the repo
+root) so the rule set can land before every legacy finding is fixed.
+The file is a ratchet, not a landfill:
+
+* entries match by ``(rule, path, fingerprint)`` — the fingerprint hashes
+  the offending line's text, so unrelated edits do not orphan entries;
+* a *stale* entry (recorded violation no longer present) also fails the
+  run, forcing ``--update-baseline`` to shrink the file in the same
+  change that fixed the code — the baseline only ratchets downward;
+* every entry carries a free-form ``note`` documenting why it is
+  grandfathered rather than fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from .core import Violation
+
+#: On-disk format version of the baseline file.
+BASELINE_FORMAT = 1
+#: Default location relative to the repository root.
+BASELINE_NAME = "LINT_BASELINE.json"
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of comparing current findings against a baseline."""
+
+    new: list[Violation] = field(default_factory=list)
+    baselined: list[Violation] = field(default_factory=list)
+    stale: list[dict] = field(default_factory=list)
+
+
+def load_baseline(path: Path) -> list[dict]:
+    """Entries of a baseline file; empty when the file does not exist."""
+    if not path.is_file():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"{path}: not a lint baseline file")
+    if data.get("format") != BASELINE_FORMAT:
+        raise ValueError(f"{path}: unsupported baseline format "
+                         f"{data.get('format')!r}")
+    return list(data["entries"])
+
+
+def write_baseline(path: Path, violations: Sequence[Violation],
+                   notes: "dict[str, str] | None" = None) -> None:
+    """Serialise ``violations`` as the new baseline (sorted, stable)."""
+    notes = notes or {}
+    entries = [
+        {"rule": v.rule, "path": v.path, "fingerprint": v.fingerprint,
+         "line": v.line,
+         "note": notes.get(v.fingerprint, "grandfathered; fix or document")}
+        for v in sorted(violations, key=lambda v: (v.path, v.line, v.rule))
+    ]
+    payload = {"format": BASELINE_FORMAT, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def apply_baseline(violations: Sequence[Violation],
+                   entries: Sequence[dict]) -> BaselineMatch:
+    """Split findings into new vs grandfathered, and spot stale entries."""
+    keys = {(e.get("rule"), e.get("path"), e.get("fingerprint"))
+            for e in entries}
+    match = BaselineMatch()
+    seen: set[tuple] = set()
+    for v in violations:
+        key = (v.rule, v.path, v.fingerprint)
+        if key in keys:
+            match.baselined.append(v)
+            seen.add(key)
+        else:
+            match.new.append(v)
+    match.stale = [e for e in entries
+                   if (e.get("rule"), e.get("path"), e.get("fingerprint"))
+                   not in seen]
+    return match

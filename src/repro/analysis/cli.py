@@ -1,0 +1,124 @@
+"""``repro-ssd lint`` subcommand.
+
+Thin argparse wiring over :func:`repro.analysis.core.run_lint`; the main
+CLI (:mod:`repro.cli`) mounts :func:`add_lint_arguments` /
+:func:`cmd_lint` on its ``lint`` subparser.
+
+Exit codes: 0 clean (baselined findings allowed), 1 new violations or
+stale baseline entries, 2 configuration problems (unknown rule id,
+unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from .baseline import BASELINE_NAME, apply_baseline, load_baseline, write_baseline
+from .core import run_lint
+
+
+def find_repo_root() -> Path | None:
+    """Nearest ancestor that looks like this repository.
+
+    Tries the working directory first (the normal CLI case), then the
+    installed package location (``src/repro`` layout).
+    """
+    candidates = [Path.cwd(), Path(__file__).resolve()]
+    for base in candidates:
+        for cand in (base, *base.parents):
+            if ((cand / "pyproject.toml").is_file()
+                    and (cand / "src" / "repro").is_dir()):
+                return cand
+    return None
+
+
+def resolve_roots(root_arg: "str | None") -> tuple[Path, Path | None]:
+    """``(package_root, repo_root)`` for one invocation.
+
+    ``--root`` may point at the repository (``src/repro`` is used) or
+    directly at any directory of Python files (rule fixtures); without
+    it the repository is auto-detected.
+    """
+    if root_arg is not None:
+        root = Path(root_arg).resolve()
+        pkg = root / "src" / "repro"
+        if pkg.is_dir():
+            return pkg, root
+        return root, root
+    repo = find_repo_root()
+    if repo is not None:
+        return repo / "src" / "repro", repo
+    # Fall back to the importable package itself (no snapshot/baseline).
+    return Path(__file__).resolve().parents[1], None
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Mount the lint flags on a subparser."""
+    parser.add_argument("--root", metavar="DIR",
+                        help="repository root, or a bare directory of "
+                             "Python files (default: auto-detect)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help=f"baseline file (default: {BASELINE_NAME} "
+                             f"at the repo root)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline with the current "
+                             "findings and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Entry point for ``repro-ssd lint``."""
+    from . import ALL_RULES
+    from .report import render_json, render_text
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.title}")
+        return 0
+
+    package_root, repo_root = resolve_roots(args.root)
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    try:
+        result = run_lint(package_root, repo_root=repo_root, select=select)
+    except ValueError as exc:
+        print(f"lint: {exc}")
+        return 2
+
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+    elif repo_root is not None:
+        baseline_path = repo_root / BASELINE_NAME
+    else:
+        baseline_path = None
+
+    if args.update_baseline:
+        if baseline_path is None:
+            print("lint: no baseline path (pass --baseline or run inside "
+                  "the repository)")
+            return 2
+        write_baseline(baseline_path, result.violations)
+        print(f"lint: baseline rewritten with {len(result.violations)} "
+              f"entries ({baseline_path})")
+        return 0
+
+    entries: list[dict] = []
+    if baseline_path is not None:
+        try:
+            entries = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"lint: {exc}")
+            return 2
+    match = apply_baseline(result.violations, entries)
+
+    render = render_json if args.format == "json" else render_text
+    print(render(result, match))
+    return 1 if (match.new or match.stale) else 0

@@ -1,0 +1,266 @@
+"""Engine of the ``repro-ssd lint`` static analyzer.
+
+The simulator's headline guarantees — bit-identical parallel replay, a
+sound content-addressed result cache, and modelled latencies that never
+mix with host wall time — are *conventions* unless something checks
+them.  This package turns the conventions into AST-level rules that run
+over ``src/repro`` in CI (see :mod:`repro.analysis.determinism`,
+:mod:`repro.analysis.schema`, :mod:`repro.analysis.config_literals` for
+the rules themselves).
+
+The engine here is deliberately small:
+
+* :class:`SourceFile` — one parsed module plus its suppression comments
+  (``# repro-lint: disable=RULE`` on the offending line,
+  ``# repro-lint: disable-file=RULE`` anywhere in the file);
+* :class:`Rule` — base class with per-file and per-project hooks;
+* :func:`run_lint` — walk a package tree, run every rule, drop
+  suppressed findings, and fingerprint the survivors so the baseline
+  file can match them across unrelated line-number drift.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: ``# repro-lint: disable=D001`` / ``disable=D001,S002`` on a line
+#: suppresses those rules for violations reported *on that line*.
+_SUPPRESS_LINE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)")
+#: ``# repro-lint: disable-file=D003`` anywhere suppresses for the file.
+_SUPPRESS_FILE = re.compile(
+    r"#\s*repro-lint:\s*disable-file=([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)")
+
+#: Rule id used for files the parser rejects.
+PARSE_ERROR_RULE = "E999"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule, a location, and a human-readable message.
+
+    ``fingerprint`` is filled in by the engine — a short hash of the
+    rule, the file, and the *text* of the offending line (plus an
+    occurrence index for duplicated lines), so baseline entries keep
+    matching when unrelated edits shift line numbers.
+    """
+
+    rule: str
+    path: str  # posix path relative to the linted package root
+    line: int  # 1-based
+    col: int  # 0-based, as in ``ast`` node offsets
+    message: str
+    fingerprint: str = ""
+
+    def location(self) -> str:
+        """``path:line:col`` prefix used by the text reporter."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class SourceFile:
+    """A parsed module and everything rules need to inspect it."""
+
+    path: Path
+    relpath: str
+    text: str
+    lines: list[str]
+    tree: ast.Module
+    line_suppressions: dict[int, set[str]]
+    file_suppressions: set[str]
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "SourceFile":
+        """Parse ``path``; raises :class:`SyntaxError` on broken source."""
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        lines = text.splitlines()
+        line_supp: dict[int, set[str]] = {}
+        file_supp: set[str] = set()
+        for lineno, line in enumerate(lines, start=1):
+            if "repro-lint" not in line:
+                continue
+            m = _SUPPRESS_LINE.search(line)
+            if m:
+                ids = {part.strip() for part in m.group(1).split(",")}
+                line_supp.setdefault(lineno, set()).update(ids)
+            m = _SUPPRESS_FILE.search(line)
+            if m:
+                file_supp.update(part.strip() for part in m.group(1).split(","))
+        return cls(path=path, relpath=path.relative_to(root).as_posix(),
+                   text=text, lines=lines, tree=tree,
+                   line_suppressions=line_supp, file_suppressions=file_supp)
+
+    def suppressed(self, violation: Violation) -> bool:
+        """Whether a suppression comment covers ``violation``."""
+        if violation.rule in self.file_suppressions:
+            return True
+        return violation.rule in self.line_suppressions.get(violation.line, ())
+
+    def line_text(self, lineno: int) -> str:
+        """Source text of a 1-based line ('' when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+@dataclass(frozen=True)
+class ProjectContext:
+    """Inputs for rules that look at the tree as a whole (S001)."""
+
+    #: Directory being linted — normally ``src/repro``.
+    package_root: Path
+    #: Repository root holding ``results/schema_snapshot.json`` and the
+    #: baseline file; ``None`` when linting a bare directory (fixtures).
+    repo_root: Path | None = None
+
+    @property
+    def snapshot_path(self) -> Path | None:
+        """Location of the committed schema snapshot, if resolvable."""
+        if self.repo_root is None:
+            return None
+        return self.repo_root / "results" / "schema_snapshot.json"
+
+
+class Rule:
+    """Base class: subclasses override one of the two hooks."""
+
+    id: str = ""
+    title: str = ""
+
+    def check_file(self, src: SourceFile) -> Iterator[Violation]:
+        """Per-file findings (most rules)."""
+        return iter(())
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Violation]:
+        """Whole-tree findings (schema drift)."""
+        return iter(())
+
+
+@dataclass
+class LintResult:
+    """Everything one analyzer run produced."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    def counts_by_rule(self) -> dict[str, int]:
+        """``{rule_id: violation count}`` over all findings."""
+        out: dict[str, int] = {}
+        for v in self.violations:
+            out[v.rule] = out.get(v.rule, 0) + 1
+        return out
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_python_files(root: Path) -> Iterator[Path]:
+    """Every ``*.py`` under ``root`` (or ``root`` itself), sorted."""
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        yield path
+
+
+def fingerprint(rule: str, path: str, line_text: str, occurrence: int) -> str:
+    """Stable 16-hex id of one violation.
+
+    Keyed on the offending line's *text*, not its number, so inserting
+    unrelated lines above does not orphan a baseline entry; duplicate
+    lines are disambiguated by their occurrence index.
+    """
+    blob = f"{rule}\x00{path}\x00{line_text.strip()}\x00{occurrence}"
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def _assign_fingerprints(violations: list[Violation],
+                         sources: dict[str, SourceFile]) -> list[Violation]:
+    seen: dict[tuple[str, str, str], int] = {}
+    out = []
+    for v in violations:
+        src = sources.get(v.path)
+        text = src.line_text(v.line) if src is not None else ""
+        key = (v.rule, v.path, text.strip())
+        occ = seen.get(key, 0)
+        seen[key] = occ + 1
+        out.append(replace(v, fingerprint=fingerprint(v.rule, v.path, text, occ)))
+    return out
+
+
+def run_lint(package_root: "Path | str",
+             repo_root: "Path | str | None" = None,
+             rules: "Sequence[Rule] | None" = None,
+             select: "Iterable[str] | None" = None) -> LintResult:
+    """Run the analyzer over one package tree.
+
+    Parameters
+    ----------
+    package_root:
+        Directory whose ``*.py`` files are checked; violation paths are
+        relative to it.
+    repo_root:
+        Repository root (for the schema snapshot).  ``None`` disables
+        project-level rules that need committed state.
+    rules:
+        Rule instances to run; defaults to :data:`repro.analysis.ALL_RULES`.
+    select:
+        Optional whitelist of rule ids.
+    """
+    from . import ALL_RULES  # late import: rules import this module
+
+    package_root = Path(package_root)
+    repo = Path(repo_root) if repo_root is not None else None
+    active = list(rules) if rules is not None else list(ALL_RULES)
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {r.id for r in active}
+        if unknown:
+            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+        active = [r for r in active if r.id in wanted]
+
+    sources: dict[str, SourceFile] = {}
+    violations: list[Violation] = []
+    files_checked = 0
+    for path in iter_python_files(package_root):
+        files_checked += 1
+        try:
+            src = SourceFile.load(path, package_root)
+        except SyntaxError as exc:
+            rel = path.relative_to(package_root).as_posix()
+            violations.append(Violation(
+                PARSE_ERROR_RULE, rel, exc.lineno or 1, (exc.offset or 1) - 1,
+                f"could not parse: {exc.msg}"))
+            continue
+        sources[src.relpath] = src
+        for rule in active:
+            for v in rule.check_file(src):
+                if not src.suppressed(v):
+                    violations.append(v)
+
+    ctx = ProjectContext(package_root=package_root, repo_root=repo)
+    for rule in active:
+        violations.extend(rule.check_project(ctx))
+
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    violations = _assign_fingerprints(violations, sources)
+    return LintResult(violations=violations, files_checked=files_checked,
+                      rules_run=[r.id for r in active])

@@ -1,0 +1,53 @@
+"""Text and JSON reporters for ``repro-ssd lint``."""
+
+from __future__ import annotations
+
+import json
+
+from .baseline import BaselineMatch
+from .core import LintResult, Violation
+
+
+def render_text(result: LintResult, match: BaselineMatch) -> str:
+    """Human-readable report: one ``path:line:col: RULE message`` per
+    finding, then a summary line."""
+    out: list[str] = []
+    for v in match.new:
+        out.append(f"{v.location()}: {v.rule} {v.message}")
+    for v in match.baselined:
+        out.append(f"{v.location()}: {v.rule} [baselined] {v.message}")
+    for e in match.stale:
+        out.append(f"{e.get('path')}: {e.get('rule')} [stale baseline entry "
+                   f"{e.get('fingerprint')}] violation no longer present — "
+                   f"shrink the baseline with --update-baseline")
+    counts = result.counts_by_rule()
+    by_rule = ", ".join(f"{r}={n}" for r, n in sorted(counts.items()))
+    out.append(f"checked {result.files_checked} files, rules "
+               f"{','.join(result.rules_run)}: "
+               f"{len(match.new)} new, {len(match.baselined)} baselined, "
+               f"{len(match.stale)} stale"
+               + (f" ({by_rule})" if by_rule else ""))
+    return "\n".join(out)
+
+
+def _violation_dict(v: Violation, baselined: bool) -> dict:
+    return {"rule": v.rule, "path": v.path, "line": v.line, "col": v.col,
+            "message": v.message, "fingerprint": v.fingerprint,
+            "baselined": baselined}
+
+
+def render_json(result: LintResult, match: BaselineMatch) -> str:
+    """Machine-readable report (the CI lint job's format)."""
+    payload = {
+        "files_checked": result.files_checked,
+        "rules_run": result.rules_run,
+        "counts_by_rule": result.counts_by_rule(),
+        "violations": ([_violation_dict(v, False) for v in match.new]
+                       + [_violation_dict(v, True) for v in match.baselined]),
+        "stale_baseline_entries": match.stale,
+        "new": len(match.new),
+        "baselined": len(match.baselined),
+        "stale": len(match.stale),
+        "ok": not match.new and not match.stale,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

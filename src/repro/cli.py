@@ -7,6 +7,7 @@
     repro-ssd all --scale smoke            # regenerate everything
     repro-ssd simulate --trace ts0 --scheme ipu --scale smoke
     repro-ssd traces                       # profile summary
+    repro-ssd lint                         # determinism/schema analyzer
 
 (also reachable as ``python -m repro ...``)
 """
@@ -17,6 +18,7 @@ import argparse
 import sys
 
 from . import SCHEMES, __version__
+from .analysis.cli import add_lint_arguments, cmd_lint
 from .bench import DEFAULT_SCHEMES, DEFAULT_TRACES
 from .experiments import EXPERIMENTS, run as run_experiment
 from .experiments.cache import ResultCache, default_cache_dir
@@ -270,6 +272,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="allowed per-cell ops/sec drop for --check "
                               "(default 0.30)")
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the determinism/schema static analyzer")
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(fn=cmd_lint)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
     p_cache.add_argument("--cache-dir", metavar="DIR",

@@ -18,7 +18,11 @@ import numpy as np
 
 from ..config import ReliabilityConfig, TimingConfig
 from ..errors import ConfigError
+from ..units import KIB
 from .bch import BCHCode
+
+#: Subpage payload a failure-probability query covers (4 KiB LSN unit).
+SUBPAGE_BYTES = 4 * KIB
 
 
 class EccModel:
@@ -85,5 +89,5 @@ class EccModel:
     def uncorrectable_probability(self, rber: float) -> float:
         """Probability at least one codeword of a 4 KiB subpage fails."""
         per_cw = self.code.failure_probability(rber)
-        ncw = self.code.codewords_for(4096)
+        ncw = self.code.codewords_for(SUBPAGE_BYTES)
         return 1.0 - (1.0 - per_cw) ** ncw

@@ -122,7 +122,9 @@ class VictimIndex:
         elif self.dirty:
             slot = self._slot
             members = self.members
-            for bid in self.dirty:
+            # Slots are disjoint, so any order gives the same arrays; sorted
+            # keeps the patch order itself deterministic (lint rule D003).
+            for bid in sorted(self.dirty):
                 self._fill(slot[bid], members[bid])
             self.dirty.clear()
         return self.blocks_list

@@ -53,4 +53,10 @@ def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """Split ``rng`` into ``n`` independent child generators."""
     if n < 0:
         raise ValueError(f"cannot spawn {n} generators")
-    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]
+    seq = rng.bit_generator.seed_seq
+    if not isinstance(seq, np.random.SeedSequence):
+        # Exotic bit generators may carry a custom ISeedSequence without
+        # spawn(); every generator repro creates is SeedSequence-backed.
+        raise TypeError(f"cannot spawn from seed sequence of type "
+                        f"{type(seq).__name__}")
+    return [np.random.default_rng(s) for s in seq.spawn(n)]

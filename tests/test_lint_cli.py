@@ -1,0 +1,141 @@
+"""End-to-end tests of the ``repro-ssd lint`` subcommand: exit codes,
+report formats, and the baseline/ratchet workflow."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+BAD_SNIPPET = """
+    def drain(ids):
+        for i in set(ids):
+            yield i
+    """
+
+
+def seed_violation(tmp_path: Path, code: str = BAD_SNIPPET) -> Path:
+    path = tmp_path / "ftl" / "bad.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(code), encoding="utf-8")
+    return path
+
+
+# --------------------------------------------------------------------------
+# exit codes and formats
+
+
+def test_lint_clean_on_committed_tree(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 new, 0 baselined, 0 stale" in out
+
+
+def test_lint_json_format_on_committed_tree(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["lint", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["new"] == 0
+    assert payload["rules_run"] == ["D001", "D002", "D003", "S001", "S002",
+                                    "C001"]
+    assert payload["files_checked"] > 50
+
+
+def test_lint_nonzero_on_seeded_violation(tmp_path, capsys):
+    seed_violation(tmp_path)
+    assert main(["lint", "--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "D003" in out and "ftl/bad.py" in out
+
+
+def test_lint_json_reports_seeded_violation(tmp_path, capsys):
+    seed_violation(tmp_path)
+    assert main(["lint", "--root", str(tmp_path), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    (violation,) = payload["violations"]
+    assert violation["rule"] == "D003"
+    assert violation["path"] == "ftl/bad.py"
+    assert violation["fingerprint"]
+
+
+@pytest.mark.parametrize("rule", ["D001", "D002", "D003", "S001", "S002",
+                                  "C001"])
+def test_every_rule_listed(rule, capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    assert rule in capsys.readouterr().out
+
+
+def test_select_unknown_rule_exits_2(tmp_path, capsys):
+    assert main(["lint", "--root", str(tmp_path), "--select", "Z999"]) == 2
+
+
+# --------------------------------------------------------------------------
+# baseline / ratchet workflow
+
+
+def test_baseline_workflow_ratchets(tmp_path, capsys):
+    bad = seed_violation(tmp_path)
+    root = str(tmp_path)
+
+    # 1. New violation fails.
+    assert main(["lint", "--root", root]) == 1
+    # 2. Grandfather it; the run goes green with it recorded.
+    assert main(["lint", "--root", root, "--update-baseline"]) == 0
+    baseline = tmp_path / "LINT_BASELINE.json"
+    assert baseline.is_file()
+    assert len(json.loads(baseline.read_text())["entries"]) == 1
+    capsys.readouterr()
+    assert main(["lint", "--root", root]) == 0
+    assert "[baselined]" in capsys.readouterr().out
+    # 3. Fixing the code makes the entry stale — the ratchet fails until
+    #    the baseline shrinks.
+    bad.write_text("def drain(ids):\n    return sorted(set(ids))\n",
+                   encoding="utf-8")
+    capsys.readouterr()
+    assert main(["lint", "--root", root]) == 1
+    assert "stale" in capsys.readouterr().out
+    assert main(["lint", "--root", root, "--update-baseline"]) == 0
+    assert json.loads(baseline.read_text())["entries"] == []
+    assert main(["lint", "--root", root]) == 0
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    bad = seed_violation(tmp_path)
+    root = str(tmp_path)
+    assert main(["lint", "--root", root, "--update-baseline"]) == 0
+    # Unrelated edits above the violation shift its line number; the
+    # text-keyed fingerprint keeps the entry matched.
+    bad.write_text("# leading comment\n# another\n" + bad.read_text(),
+                   encoding="utf-8")
+    assert main(["lint", "--root", root]) == 0
+
+
+def test_explicit_baseline_path(tmp_path):
+    seed_violation(tmp_path)
+    baseline = tmp_path / "custom-baseline.json"
+    root = str(tmp_path)
+    assert main(["lint", "--root", root, "--baseline", str(baseline),
+                 "--update-baseline"]) == 0
+    assert baseline.is_file()
+    assert main(["lint", "--root", root, "--baseline", str(baseline)]) == 0
+    # The default baseline name was never created.
+    assert not (tmp_path / "LINT_BASELINE.json").exists()
+
+
+def test_committed_baseline_is_empty():
+    """Satellite contract: the repo baseline stays (near-)empty; every
+    entry that does exist must carry a documenting note."""
+    data = json.loads((REPO_ROOT / "LINT_BASELINE.json").read_text())
+    assert data["format"] == 1
+    for entry in data["entries"]:
+        assert entry.get("note"), f"undocumented baseline entry: {entry}"
+    assert len(data["entries"]) == 0

@@ -1,0 +1,360 @@
+"""Fixture-driven tests for the repro-ssd lint rules.
+
+One good/bad snippet pair per rule, written into a throwaway tree and
+linted with the real engine, so every rule's detection logic and its
+allowlists/exemptions are pinned by example.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.analysis.core import PARSE_ERROR_RULE
+
+
+def lint_snippet(tmp_path: Path, relpath: str, code: str,
+                 select: "list[str] | None" = None):
+    """Write ``code`` at ``relpath`` under a scratch tree and lint it."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(code), encoding="utf-8")
+    result = run_lint(tmp_path, select=select)
+    return [v.rule for v in result.violations], result
+
+
+# --------------------------------------------------------------------------
+# D001 — randomness
+
+
+def test_d001_flags_random_import(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "traces/synth.py", """
+        import random
+
+        def pick():
+            return random.random()
+        """)
+    assert rules.count("D001") >= 2  # the import and the call chain
+
+
+@pytest.mark.parametrize("stmt", [
+    "from random import shuffle",
+    "import uuid",
+    "from os import urandom",
+    "from numpy import random",
+    "from numpy.random import default_rng",
+])
+def test_d001_flags_random_source_imports(tmp_path, stmt):
+    rules, _ = lint_snippet(tmp_path, "core/mod.py", f"{stmt}\n")
+    assert "D001" in rules
+
+
+def test_d001_flags_unseeded_default_rng(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "ftl/gc.py", """
+        import numpy as np
+
+        def roll():
+            return np.random.default_rng().integers(10)
+        """)
+    assert "D001" in rules
+
+
+def test_d001_good_path_uses_make_rng(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "traces/synth.py", """
+        from repro.rng import make_rng
+
+        def roll(seed):
+            return make_rng(seed, key="roll").integers(10)
+        """)
+    assert "D001" not in rules
+
+
+def test_d001_allows_rng_module_itself(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "rng.py", """
+        import numpy as np
+
+        def make_rng(seed):
+            return np.random.default_rng(seed)
+        """)
+    assert "D001" not in rules
+
+
+# --------------------------------------------------------------------------
+# D002 — wall clock
+
+
+def test_d002_flags_wall_clock_outside_allowlist(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "ftl/gc.py", """
+        import time
+
+        def scan():
+            return time.perf_counter()
+        """)
+    assert "D002" in rules
+
+
+def test_d002_flags_from_time_import(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "metrics/report.py",
+                            "from time import perf_counter\n")
+    assert "D002" in rules
+
+
+def test_d002_flags_datetime_now(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "experiments/runner.py", """
+        import datetime
+
+        def stamp():
+            return datetime.datetime.now()
+        """)
+    assert "D002" in rules
+
+
+@pytest.mark.parametrize("relpath", [
+    "bench.py", "sim/simulator.py", "ftl/victim.py",
+])
+def test_d002_allowlisted_diagnostic_modules(tmp_path, relpath):
+    rules, _ = lint_snippet(tmp_path, relpath, """
+        import time
+
+        def wall():
+            return time.perf_counter()
+        """)
+    assert "D002" not in rules
+
+
+def test_d002_good_path_uses_modelled_time(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "ftl/gc.py", """
+        def cost_ms(timing, pages):
+            return timing.erase_ms + pages * timing.slc_read_ms
+        """)
+    assert "D002" not in rules
+
+
+# --------------------------------------------------------------------------
+# D003 — set iteration order
+
+
+def test_d003_flags_for_over_set_call(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "ftl/x.py", """
+        def drain(ids):
+            out = []
+            for i in set(ids):
+                out.append(i)
+            return out
+        """)
+    assert "D003" in rules
+
+
+def test_d003_flags_annotated_set_attribute(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "ftl/x.py", """
+        class Index:
+            def __init__(self):
+                self.dirty: set[int] = set()
+
+            def flush(self):
+                for bid in self.dirty:
+                    yield bid
+        """)
+    assert "D003" in rules
+
+
+def test_d003_flags_list_of_set(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "nand/x.py", """
+        def order(ids):
+            pending = {i for i in ids}
+            return list(pending)
+        """)
+    assert "D003" in rules
+
+
+def test_d003_good_sorted_iteration(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "ftl/x.py", """
+        class Index:
+            def __init__(self):
+                self.dirty: set[int] = set()
+
+            def flush(self):
+                for bid in sorted(self.dirty):
+                    yield bid
+
+        def order(ids):
+            return sorted(set(ids))
+
+        def member(ids, x):
+            return x in set(ids)
+        """)
+    assert "D003" not in rules
+
+
+def test_d003_only_applies_to_simulation_state_dirs(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "metrics/x.py", """
+        def drain(ids):
+            for i in set(ids):
+                yield i
+        """)
+    assert "D003" not in rules
+
+
+# --------------------------------------------------------------------------
+# S002 — Block counter writes
+
+
+def test_s002_flags_counter_assignment(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "ftl/x.py", """
+        def hack(block, page):
+            block.page_valid[page] = 0
+        """)
+    assert "S002" in rules
+
+
+def test_s002_flags_augmented_assignment(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "core/x.py", """
+        def hack(block):
+            block.n_valid += 1
+        """)
+    assert "S002" in rules
+
+
+def test_s002_flags_mutator_call(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "sim/x.py", """
+        def hack(block, page):
+            block.disturb_in[page].append(1)
+        """)
+    assert "S002" in rules
+
+
+def test_s002_allows_block_module_and_reads(tmp_path):
+    good = """
+        def owner_mutation(self, page, n):
+            self.page_valid[page] += n
+
+        def reader(block, page):
+            return block.page_valid[page] == 0
+        """
+    rules, _ = lint_snippet(tmp_path, "nand/block.py", good)
+    assert "S002" not in rules
+    rules, _ = lint_snippet(tmp_path, "ftl/read_only.py", """
+        def reader(block, page):
+            return block.page_valid[page] + block.n_valid
+        """)
+    assert "S002" not in rules
+
+
+# --------------------------------------------------------------------------
+# C001 — magic literals
+
+
+def test_c001_flags_magic_size(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "error/x.py", """
+        def codewords(code):
+            return code.codewords_for(4096)
+        """)
+    assert "C001" in rules
+
+
+def test_c001_flags_magic_latency(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "sim/x.py", """
+        def latency(n):
+            return n * 0.3
+        """)
+    assert "C001" in rules
+
+
+def test_c001_exempts_declared_defaults(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "error/x.py", """
+        from dataclasses import dataclass
+
+        SECTOR_BYTES = 512
+
+        @dataclass
+        class Code:
+            payload_bytes: int = 512
+
+        def f(size=4096):
+            return size
+        """)
+    assert "C001" not in rules
+
+
+def test_c001_only_applies_to_modelled_dirs(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "metrics/x.py", """
+        def f():
+            return 4096
+        """)
+    assert "C001" not in rules
+
+
+# --------------------------------------------------------------------------
+# engine behaviour
+
+
+def test_suppression_comment_on_line(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "ftl/x.py", """
+        def drain(ids):
+            for i in set(ids):  # repro-lint: disable=D003
+                yield i
+        """)
+    assert "D003" not in rules
+
+
+def test_suppression_is_rule_specific(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "ftl/x.py", """
+        def drain(ids):
+            for i in set(ids):  # repro-lint: disable=C001
+                yield i
+        """)
+    assert "D003" in rules
+
+
+def test_file_level_suppression(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "ftl/x.py", """
+        # repro-lint: disable-file=D003
+        def drain(ids):
+            for i in set(ids):
+                yield i
+
+        def more(ids):
+            return list(set(ids))
+        """)
+    assert "D003" not in rules
+
+
+def test_parse_error_is_reported_not_raised(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "ftl/x.py", "def broken(:\n")
+    assert rules == [PARSE_ERROR_RULE]
+
+
+def test_select_restricts_rules(tmp_path):
+    rules, result = lint_snippet(tmp_path, "ftl/x.py", """
+        import random
+
+        def drain(ids):
+            for i in set(ids):
+                yield i
+        """, select=["D003"])
+    assert set(rules) == {"D003"}
+    assert result.rules_run == ["D003"]
+
+
+def test_select_unknown_rule_raises(tmp_path):
+    with pytest.raises(ValueError, match="unknown rule"):
+        run_lint(tmp_path, select=["Z999"])
+
+
+def test_violations_carry_stable_fingerprints(tmp_path):
+    code = """
+        def drain(ids):
+            for i in set(ids):
+                yield i
+        """
+    _, first = lint_snippet(tmp_path, "ftl/x.py", code)
+    # Shift the offending line down; the fingerprint must not move.
+    shifted = "# a new leading comment\n" + textwrap.dedent(code)
+    (tmp_path / "ftl/x.py").write_text(shifted, encoding="utf-8")
+    second = run_lint(tmp_path)
+    assert [v.fingerprint for v in first.violations] == \
+        [v.fingerprint for v in second.violations]
+    assert first.violations[0].line != second.violations[0].line

@@ -1,0 +1,144 @@
+"""S001 schema-drift guard: extraction, snapshot, and trip scenarios."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import current_schema, run_lint, write_schema_snapshot
+from repro.analysis.schema import (
+    extract_cache_schema_version,
+    extract_result_schema,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+SIMULATOR_TEMPLATE = '''
+from dataclasses import dataclass
+
+
+@dataclass
+class SimulationResult:
+    """Toy result mirroring the real class shape."""
+
+    NONDETERMINISTIC_FIELDS = ("wall_seconds",)
+
+    scheme: str
+    n_requests: int
+    wall_seconds: float
+{extra_fields}
+    def summary(self):
+        return {{"scheme": self.scheme, "requests": self.n_requests}}
+'''
+
+
+def make_repo(tmp_path: Path, version: int = 2,
+              extra_fields: str = "") -> tuple[Path, Path]:
+    """A minimal src/repro tree with a SimulationResult and a cache."""
+    pkg = tmp_path / "src" / "repro"
+    (pkg / "sim").mkdir(parents=True, exist_ok=True)
+    (pkg / "experiments").mkdir(parents=True, exist_ok=True)
+    (pkg / "sim" / "simulator.py").write_text(
+        SIMULATOR_TEMPLATE.format(extra_fields=extra_fields),
+        encoding="utf-8")
+    (pkg / "experiments" / "cache.py").write_text(
+        f"CACHE_SCHEMA_VERSION = {version}\n", encoding="utf-8")
+    return tmp_path, pkg
+
+
+def s001_violations(repo: Path, pkg: Path):
+    result = run_lint(pkg, repo_root=repo, select=["S001"])
+    return [v for v in result.violations if v.rule == "S001"]
+
+
+# --------------------------------------------------------------------------
+# extraction
+
+
+def test_extracts_fields_nondet_and_summary_keys(tmp_path):
+    repo, pkg = make_repo(tmp_path)
+    schema = extract_result_schema(pkg / "sim" / "simulator.py")
+    assert schema["fields"] == ["scheme", "n_requests", "wall_seconds"]
+    assert schema["nondeterministic_fields"] == ["wall_seconds"]
+    assert schema["summary_keys"] == ["scheme", "requests"]
+
+
+def test_extracts_cache_schema_version(tmp_path):
+    repo, pkg = make_repo(tmp_path, version=7)
+    assert extract_cache_schema_version(
+        pkg / "experiments" / "cache.py") == 7
+
+
+def test_committed_snapshot_matches_the_tree():
+    """The S001 source of truth: results/schema_snapshot.json must equal
+    what AST extraction sees in the committed sources."""
+    snapshot = json.loads(
+        (REPO_ROOT / "results" / "schema_snapshot.json").read_text())
+    assert current_schema(PACKAGE_ROOT) == snapshot
+
+
+# --------------------------------------------------------------------------
+# trip scenarios
+
+
+def test_missing_snapshot_is_a_violation(tmp_path):
+    repo, pkg = make_repo(tmp_path)
+    (found,) = s001_violations(repo, pkg)
+    assert "missing" in found.message
+
+
+def test_clean_after_snapshot_written(tmp_path):
+    repo, pkg = make_repo(tmp_path)
+    write_schema_snapshot(repo)
+    assert s001_violations(repo, pkg) == []
+
+
+def test_field_added_without_version_bump_trips(tmp_path):
+    repo, pkg = make_repo(tmp_path)
+    write_schema_snapshot(repo)
+    make_repo(tmp_path, version=2, extra_fields="    gc_scans: int = 0\n")
+    (found,) = s001_violations(repo, pkg)
+    assert "without a CACHE_SCHEMA_VERSION bump" in found.message
+    assert "gc_scans" in found.message
+
+
+def test_field_added_with_bump_still_requires_snapshot_refresh(tmp_path):
+    repo, pkg = make_repo(tmp_path)
+    write_schema_snapshot(repo)
+    make_repo(tmp_path, version=3, extra_fields="    gc_scans: int = 0\n")
+    (found,) = s001_violations(repo, pkg)
+    assert "regenerate" in found.message
+    # ... and regenerating re-arms the guard.
+    write_schema_snapshot(repo)
+    assert s001_violations(repo, pkg) == []
+
+
+def test_version_bump_alone_requires_snapshot_refresh(tmp_path):
+    repo, pkg = make_repo(tmp_path)
+    write_schema_snapshot(repo)
+    make_repo(tmp_path, version=3)
+    (found,) = s001_violations(repo, pkg)
+    assert "snapshot records 2" in found.message
+
+
+def test_summary_key_drift_trips(tmp_path):
+    repo, pkg = make_repo(tmp_path)
+    write_schema_snapshot(repo)
+    sim = pkg / "sim" / "simulator.py"
+    sim.write_text(sim.read_text().replace('"requests":', '"n_requests":'),
+                   encoding="utf-8")
+    (found,) = s001_violations(repo, pkg)
+    assert "summary key" in found.message
+
+
+def test_fixture_trees_without_simulator_are_skipped(tmp_path):
+    (tmp_path / "ftl").mkdir()
+    (tmp_path / "ftl" / "x.py").write_text("A = 1\n", encoding="utf-8")
+    result = run_lint(tmp_path, repo_root=tmp_path, select=["S001"])
+    assert result.violations == []
+
+
+def test_real_tree_passes_s001():
+    assert s001_violations(REPO_ROOT, PACKAGE_ROOT) == []

@@ -1,0 +1,24 @@
+"""Gate: the incremental-strict mypy config in pyproject.toml is clean.
+
+mypy is a CI-only dependency (the ``lint`` job installs it); when it is
+absent locally this test skips rather than fail.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_mypy_clean_on_typed_modules():
+    pytest.importorskip("mypy")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary"],
+        cwd=REPO_ROOT, capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, (
+        f"mypy found type errors:\n{proc.stdout}\n{proc.stderr}")
