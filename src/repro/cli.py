@@ -6,6 +6,7 @@
     repro-ssd run fig5 --scale small       # regenerate one figure/table
     repro-ssd all --scale smoke            # regenerate everything
     repro-ssd simulate --trace ts0 --scheme ipu --scale smoke
+    repro-ssd faults --rates 0,0.5,1.0     # reliability campaign sweep
     repro-ssd traces                       # profile summary
     repro-ssd lint                         # determinism/schema analyzer
 
@@ -176,6 +177,48 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    # Lazy: the campaign module pulls in the whole experiments layer.
+    from .faults.campaign import campaign_json, run_campaign
+
+    # One cache handle shared with the process-wide defaults, so the
+    # summary line sees the campaign's hits/misses.
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    jobs = resolve_jobs(args.jobs)
+    configure_execution(jobs=jobs, cache=cache)
+    rates = tuple(float(r) for r in args.rates.split(","))
+    traces = tuple(args.traces.split(",")) if args.traces else None
+    schemes = tuple(args.schemes.split(","))
+    payload = run_campaign(rates=rates, scale=args.scale, seed=args.seed,
+                           traces=traces, schemes=schemes,
+                           jobs=jobs, cache=cache)
+    rows = []
+    for scheme in schemes:
+        for point in payload["curves"][scheme]:
+            rows.append({
+                "scheme": scheme,
+                "rate": f"{point['rate']:g}",
+                "avg lat ms": f"{point['avg_latency_ms']:.4f}",
+                "retries": point["read_retries"],
+                "uncorr": point["uncorrectable_reads"],
+                "reloc": point["fault_relocations"],
+                "prog fail": point["program_failures"],
+                "retired": point["retired_blocks"],
+                "pwr loss": point["power_loss_events"],
+                "recovery ms": f"{point['recovery_ms']:.2f}",
+            })
+    print(format_table(rows, title=f"Fault-injection degradation curves "
+                                   f"(scale={args.scale}, seed={args.seed})"))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(campaign_json(payload))
+        print(f"(campaign written to {args.json})")
+    _print_execution_summary()
+    return 0
+
+
 def _cmd_traces(args: argparse.Namespace) -> int:
     rows = [
         {
@@ -272,6 +315,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="allowed per-cell ops/sec drop for --check "
                               "(default 0.30)")
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_faults = sub.add_parser(
+        "faults", help="run a fault-injection reliability campaign")
+    p_faults.add_argument("--rates", default="0,0.5,1.0", metavar="R1,R2",
+                          help="comma-separated fault-rate sweep points "
+                               "(0 = fault-free reference point)")
+    p_faults.add_argument("--scale", default="smoke",
+                          choices=("smoke", "small", "medium", "paper"))
+    p_faults.add_argument("--seed", type=int, default=1)
+    p_faults.add_argument("--traces", default=None, metavar="T1,T2",
+                          help="comma-separated trace names (default: all)")
+    p_faults.add_argument("--schemes", default="baseline,mga,ipu",
+                          metavar="S1,S2", help="comma-separated scheme names")
+    p_faults.add_argument("--json", metavar="PATH",
+                          help="write the degradation curves as canonical "
+                               "JSON (byte-stable for a given seed)")
+    add_execution_flags(p_faults)
+    p_faults.set_defaults(fn=_cmd_faults)
 
     p_lint = sub.add_parser(
         "lint", help="run the determinism/schema static analyzer")

@@ -95,9 +95,14 @@ class IPUFTL(BaseFTL):
             unbind(lsn)
         op = self.program_subpages(block, page, list(plan.target_slots),
                                    chunk, now, Cause.HOST)
+        if op.block_id != block_id or op.page != page:
+            # Program failure remapped the update out of place; the
+            # hotness mark belongs to the actual destination.
+            block = self.flash.block(op.block_id)
+            block_id, page = op.block_id, op.page
         for lsn, slot in zip(chunk, plan.target_slots):
             bind(lsn, PPA(block_id, page, slot))
-        block.mark_page_updated(plan.page)
+        block.mark_page_updated(page)
         self.stats.intra_page_updates += 1
         self.stats.update_writes += 1
         level = block.level if block.level is not None else 0
@@ -132,7 +137,11 @@ class IPUFTL(BaseFTL):
             self.stats.slc_overflow_chunks += 1
         block, page = res
         slots = list(range(len(chunk)))
-        ops.append(self.program_subpages(block, page, slots, chunk, now, Cause.HOST))
+        op = self.program_subpages(block, page, slots, chunk, now, Cause.HOST)
+        ops.append(op)
+        if op.block_id != block.block_id or op.page != page:
+            block = self.flash.block(op.block_id)
+            page = op.page
         bind = self.subpage_map.bind
         block_id = block.block_id
         for lsn, slot in zip(chunk, slots):
@@ -185,6 +194,9 @@ class IPUFTL(BaseFTL):
             self.flash.invalidate(victim.block_id, page, s)
         new_slots = list(range(len(lsns)))
         op = self.program_subpages(block, npage, new_slots, lsns, now, cause)
+        if op.block_id != block.block_id or op.page != npage:
+            block = self.flash.block(op.block_id)
+            npage = op.page
         for lsn, slot in zip(lsns, new_slots):
             self.subpage_map.bind(lsn, PPA(block.block_id, npage, slot))
         return [op]

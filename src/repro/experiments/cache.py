@@ -34,7 +34,7 @@ from ..traces.profiles import TraceProfile
 
 #: Bump whenever simulator behaviour or the result schema changes, so a
 #: code change can never be masked by a stale cache entry.
-CACHE_SCHEMA_VERSION = 2
+CACHE_SCHEMA_VERSION = 3
 
 
 def default_cache_dir() -> Path:
@@ -48,7 +48,8 @@ def default_cache_dir() -> Path:
 def cell_key(config: SSDConfig, profile: TraceProfile, n_requests: int,
              interarrival_ms: float | None, scheme: str, scale: str,
              seed: int, length_factor: float = 1.0,
-             pe: int | None = None) -> str:
+             pe: int | None = None,
+             faults: dict | None = None) -> str:
     """SHA-256 digest identifying one simulation cell.
 
     Everything that influences the replay goes in: the full nested config
@@ -56,6 +57,12 @@ def cell_key(config: SSDConfig, profile: TraceProfile, n_requests: int,
     generator parameters, the scheme, and the context identity.  Floats
     are serialised via ``repr`` inside ``json.dumps``, which is exact for
     round-trippable doubles.
+
+    ``faults`` is the serialised :class:`repro.faults.FaultConfig` of a
+    fault campaign, or ``None`` when injection is disabled.  Callers must
+    canonicalise a disabled config to ``None`` (``RunContext`` does), so
+    a rate-0 campaign shares keys — and results — with ordinary runs,
+    and a fault campaign can never be served a cached no-fault result.
     """
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
@@ -68,6 +75,7 @@ def cell_key(config: SSDConfig, profile: TraceProfile, n_requests: int,
         "seed": int(seed),
         "length_factor": float(length_factor),
         "pe": pe,
+        "faults": faults,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

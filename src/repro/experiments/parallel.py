@@ -58,16 +58,23 @@ class CellSpec:
     length_factor: float = 1.0
     #: Root of the shared on-disk result cache (None = no cache).
     cache_dir: str | None = None
+    #: Serialised :class:`repro.faults.FaultConfig` of a fault campaign
+    #: (None = no injection) — a string so the spec stays primitives-only.
+    faults_json: str | None = None
 
 
 def simulate_cell(spec: CellSpec) -> dict:
     """Worker entry point: replay one cell, return its serialised result."""
+    from ..faults import FaultConfig
     from .cache import ResultCache
     from .runner import RunContext
 
     cache = ResultCache(spec.cache_dir) if spec.cache_dir else None
+    faults = (FaultConfig.from_json(spec.faults_json)
+              if spec.faults_json else None)
     ctx = RunContext(scale=spec.scale, seed=spec.seed,
-                     length_factor=spec.length_factor, cache=cache)
+                     length_factor=spec.length_factor, cache=cache,
+                     faults=faults)
     return ctx.run(spec.trace, spec.scheme, pe=spec.pe).to_dict()
 
 

@@ -33,6 +33,7 @@ from ..config import (
     scaled_config,
 )
 from ..errors import ExperimentError
+from ..faults import FaultConfig, attach_faults
 from ..sim.simulator import SimulationResult, Simulator
 from ..traces.model import Trace
 from ..traces.profiles import TRACE_NAMES, TraceProfile, profile
@@ -90,6 +91,11 @@ class RunContext:
     #: Optional shared on-disk result cache, consulted before any cell is
     #: simulated and populated after.
     cache: ResultCache | None = field(default=None, repr=False, compare=False)
+    #: Optional fault-injection config (:mod:`repro.faults`).  A disabled
+    #: config is canonicalised to ``None`` everywhere (cache keys, plan
+    #: attachment), so rate-0 campaigns reproduce — and share cache
+    #: entries with — ordinary fault-free runs bit-identically.
+    faults: FaultConfig | None = None
     #: Cells this context actually simulated (cache hits excluded) and the
     #: wall-clock seconds those replays took — the CLI summary counters.
     executed_cells: int = field(default=0, compare=False)
@@ -196,17 +202,26 @@ class RunContext:
 
     # -- simulation --------------------------------------------------------------
 
+    def _active_faults(self) -> FaultConfig | None:
+        """The fault config when it can actually fire, else ``None``."""
+        faults = self.faults
+        if faults is None or not faults.enabled:
+            return None
+        return faults
+
     def cell_key(self, trace_name: str, scheme: str, pe: int | None = None,
                  ) -> str:
         """Content hash identifying one simulation cell for the on-disk
         cache: canonicalised config + trace parameters + scheme + context
         identity (see :func:`repro.experiments.cache.cell_key`)."""
         prof = profile(trace_name)
+        faults = self._active_faults()
         return _cache_cell_key(
             self.trace_config(trace_name, pe), prof,
             self.trace_requests(trace_name),
             estimate_interarrival_ms(prof, self.trace_config(trace_name)),
-            scheme, self.scale, self.seed, self.length_factor, pe)
+            scheme, self.scale, self.seed, self.length_factor, pe,
+            faults=faults.to_dict() if faults is not None else None)
 
     def _check_scheme(self, scheme: str) -> None:
         from .. import SCHEMES
@@ -231,6 +246,7 @@ class RunContext:
                 return self._results[key]
         cfg = self.trace_config(trace_name, pe)
         ftl = SCHEMES[scheme](cfg)
+        attach_faults(ftl, self._active_faults(), seed=self.seed)
         result = Simulator(ftl).run(self.trace(trace_name))
         self.executed_cells += 1
         self.executed_seconds += result.wall_seconds
@@ -272,11 +288,14 @@ class RunContext:
         if not pending:
             return
         cache_dir = str(self.cache.root) if self.cache is not None else None
+        faults = self._active_faults()
+        faults_json = faults.to_json() if faults is not None else None
         specs = [
             parallel.CellSpec(scale=self.scale, seed=self.seed,
                               trace=t, scheme=s, pe=pe,
                               length_factor=self.length_factor,
-                              cache_dir=cache_dir)
+                              cache_dir=cache_dir,
+                              faults_json=faults_json)
             for (t, s, pe) in pending
         ]
         for key, payload in zip(pending, parallel.run_cells(specs, n_workers)):

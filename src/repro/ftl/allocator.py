@@ -213,6 +213,14 @@ class RegionAllocator:
         """Free-pool share of the region (drives the GC trigger)."""
         return self._free_count / self.total_blocks
 
+    @property
+    def retired_blocks(self) -> int:
+        """Grown bad blocks permanently lost to the region (capacity
+        degradation under fault injection; 0 without a fault plan)."""
+        flash = self.flash
+        return sum(1 for bid in self.block_ids
+                   if flash.block(bid).state is BlockState.RETIRED)
+
     def release(self, block_id: int) -> None:
         """Return an erased block to its plane's free pool."""
         block = self.flash.block(block_id)

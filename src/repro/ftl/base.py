@@ -115,6 +115,11 @@ class BaseFTL(abc.ABC):
         #: Optional DFTL-style cached mapping table (extension).
         self.cmt = (CachedMappingTable(config.translation)
                     if config.translation.enabled else None)
+        #: Optional :class:`repro.faults.FaultPlan` set by
+        #: :func:`repro.faults.attach_faults`.  ``None`` (the default)
+        #: keeps every path below bit-identical to a device without
+        #: fault injection.
+        self.faults = None
 
     # -- scheme hooks -----------------------------------------------------
 
@@ -164,6 +169,9 @@ class BaseFTL(abc.ABC):
         ops.extend(self.slc_gc.maybe_collect(now))
         ops.extend(self.mlc_gc.maybe_collect(now))
         ops.extend(self.write(lsns, now))
+        faults = self.faults
+        if faults is not None and faults.pending:
+            ops.extend(faults.drain_ops())
         return ops
 
     def handle_read(self, lsns: list[int], now: float) -> list[OpRecord]:
@@ -188,6 +196,8 @@ class BaseFTL(abc.ABC):
                 groups.setdefault((ppa.block, ppa.page), []).append(ppa.slot)
 
         ops: list[OpRecord] = []
+        faults = self.faults
+        reclaims: list[tuple[int, int]] = []
         for (block_id, page), slots in groups.items():
             slots.sort()
             rbers = self.flash.read(block_id, page, slots, now)
@@ -198,8 +208,33 @@ class BaseFTL(abc.ABC):
                 ecc_ms=self.ecc.decode_ms_for_subpages(rbers),
                 raw_errors=float(rbers.sum()) * self._subpage_bits,
             ))
+            if faults is not None:
+                p_fail = self.ecc.uncorrectable_probability_for_subpages(rbers)
+                retries, reclaim = faults.read_outcome(p_fail)
+                for _ in range(retries):
+                    # Each ladder rung re-senses the page; the host
+                    # request waits for it (that is the latency
+                    # degradation campaigns measure).
+                    retry_rbers = self.flash.read(block_id, page, slots, now)
+                    ops.append(OpRecord(
+                        kind=OpKind.READ, block_id=block_id, page=page,
+                        n_slots=len(slots), is_slc=block.is_slc,
+                        cause=Cause.HOST,
+                        ecc_ms=self.ecc.decode_ms_for_subpages(retry_rbers),
+                        raw_errors=float(retry_rbers.sum()) * self._subpage_bits,
+                    ))
+                if reclaim:
+                    reclaims.append((block_id, page))
+        # Reclaims run after every group has been read: relocation can
+        # trigger GC, which must not erase a block a later group still
+        # needs to sense.
+        for block_id, page in reclaims:
+            ops.extend(self._fault_reclaim_page(
+                self.flash.block(block_id), page, now))
         ops.extend(self._pseudo_reads(pseudo))
         ops.extend(gc_ops)
+        if faults is not None and faults.pending:
+            ops.extend(faults.drain_ops())
         return ops
 
     def translation_keys(self, lsns: list[int]) -> list[int]:
@@ -276,6 +311,9 @@ class BaseFTL(abc.ABC):
                 if not step:
                     break
                 ops.extend(step)
+        faults = self.faults
+        if faults is not None and faults.pending:
+            ops.extend(faults.drain_ops())
         return ops
 
     # -- allocation helpers -----------------------------------------------------
@@ -330,7 +368,17 @@ class BaseFTL(abc.ABC):
         Mirrors ``FlashArray.program`` inline (same bookkeeping, same
         order) — this helper runs once per host/GC program, and the extra
         call frame is measurable on the simulation hot path.
+
+        With a fault plan attached the pulse may fail: the data is then
+        remapped to a fresh page (same slot indices) and the returned
+        record carries the *actual* destination — callers re-bind their
+        mapping from ``op.block_id``/``op.page`` when they differ from
+        the requested target.
         """
+        faults = self.faults
+        if faults is not None and faults.program_fails():
+            block, page = self._fault_remap_program(
+                block, page, slots, lsns, now, cause)
         flash = self.flash
         partial = block.program(page, slots, lsns, now, self._max_page_programs)
         slc = block.is_slc
@@ -366,6 +414,101 @@ class BaseFTL(abc.ABC):
             n_slots=len(slots), is_slc=slc, cause=cause,
             transfer_slots=transfer,
         )
+
+    # -- fault handling ----------------------------------------------------
+
+    def _fault_remap_program(self, block: Block, page: int, slots: list[int],
+                             lsns: list[int], now: float,
+                             cause: Cause) -> tuple[Block, int]:
+        """Service a sampled program failure; returns the fresh target.
+
+        A real program failure leaves the page in an undefined state that
+        can never be trusted again, so the wasted pulse physically
+        programs its target and the slots are invalidated on the spot —
+        the garbage attracts GC, which erases the (now condemned) block
+        and retires it.  The pulse is charged to the triggering cause
+        through the plan's pending-op list, a fresh page is allocated
+        (same slot indices, so the caller's LSN↔slot pairing holds), and
+        further failures on the new target retry up to the config's
+        ``program_retry_limit``.
+        """
+        faults = self.faults
+        assert faults is not None
+        flash = self.flash
+        spp = self.geometry.subpages_per_page
+        attempts = 0
+        while True:
+            attempts += 1
+            flash.program(block.block_id, page, slots, lsns, now)
+            for slot in slots:
+                flash.invalidate(block.block_id, page, slot)
+            faults.note_program_failure(block.block_id)
+            faults.pending.append(OpRecord(
+                kind=OpKind.PROGRAM, block_id=block.block_id, page=page,
+                n_slots=len(slots), is_slc=block.is_slc, cause=cause,
+                transfer_slots=(len(slots) if self.uses_partial_programming
+                                else spp),
+            ))
+            block, page = self._fault_program_realloc(block, now)
+            if attempts >= faults.config.program_retry_limit:
+                return block, page
+            if not faults.program_fails():
+                return block, page
+
+    def _fault_program_realloc(self, failed: Block,
+                               now: float) -> tuple[Block, int]:
+        """Fresh landing page after a program failure.
+
+        Prefers the failed block's own region and level; a dry SLC pool
+        is emergency-collected first and only then spills to the
+        high-density region.  Allocation ignores the host GC reserve
+        (``for_gc=True``): the data already exists and must land
+        somewhere, exactly like a relocation.
+        """
+        faults = self.faults
+        assert faults is not None
+        if failed.is_slc:
+            level = failed.level if failed.level is not None else 0
+            res = self.slc_alloc.alloc_page(level, now, for_gc=True)
+            if res is None:
+                faults.pending.extend(self.slc_gc.collect_emergency(now))
+                res = self.slc_alloc.alloc_page(level, now, for_gc=True)
+            if res is not None:
+                return res
+        res = self.alloc_mlc_page(now, faults.pending, for_gc=True)
+        assert res is not None
+        return res
+
+    def _fault_reclaim_page(self, block: Block, page: int, now: float,
+                            slots: list[int] | None = None) -> list[OpRecord]:
+        """Relocate a page's (still-)valid data after a fault.
+
+        Serves read reclaim (a retry ladder barely saved or lost the
+        page) and torn-page repair after power loss.  ``slots`` narrows
+        the move to specific subpages; either way only currently-valid
+        slots are moved, so a repair racing an interleaved GC of the same
+        block degrades to a no-op instead of double-relocating.
+        """
+        valid = block.valid_slots_of_page(page)
+        if slots is not None:
+            wanted = set(slots)
+            valid = [s for s in valid if s in wanted]
+        if not valid:
+            return []
+        lsn_row = block.slot_lsn[page].tolist()
+        lsns = [lsn_row[s] for s in valid]
+        relocate = (self._relocate_slc_page if block.is_slc
+                    else self._relocate_mlc_page)
+        ops = list(relocate(block, page, valid, lsns, now, Cause.FAULT))
+        # MGA buffers SLC relocations until a GC finish hook would flush
+        # them; a fault reclaim must complete immediately.
+        gc = self.slc_gc if block.is_slc else self.mlc_gc
+        if gc.finish is not None:
+            ops.extend(gc.finish(now, Cause.FAULT))
+        faults = self.faults
+        if faults is not None:
+            faults.stats.fault_relocations += 1
+        return ops
 
     # -- shared chunking -----------------------------------------------------------
 

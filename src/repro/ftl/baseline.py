@@ -88,8 +88,14 @@ class BaselineFTL(BaseFTL):
                     unbind(lsn)
 
             slots = [lsn % spp for lsn in write_lsns]
-            ops.append(self.program_subpages(block, page, slots, write_lsns,
-                                             now, Cause.HOST))
+            op = self.program_subpages(block, page, slots, write_lsns,
+                                       now, Cause.HOST)
+            ops.append(op)
+            if op.block_id != block.block_id or op.page != page:
+                # A program failure remapped the data; bind the actual
+                # destination (same slot indices).
+                block = self.flash.block(op.block_id)
+                page = op.page
             block_id = block.block_id
             for lsn, slot in zip(write_lsns, slots):
                 bind(lsn, PPA(block_id, page, slot))
@@ -140,7 +146,11 @@ class BaselineFTL(BaseFTL):
         block, npage = self.alloc_mlc_page(now, ops, for_gc=True)
         for s in slots:
             self.flash.invalidate(victim.block_id, page, s)
-        ops.append(self.program_subpages(block, npage, slots, lsns, now, cause))
+        op = self.program_subpages(block, npage, slots, lsns, now, cause)
+        ops.append(op)
+        if op.block_id != block.block_id or op.page != npage:
+            block = self.flash.block(op.block_id)
+            npage = op.page
         for lsn, slot in zip(lsns, slots):
             self.subpage_map.bind(lsn, PPA(block.block_id, npage, slot))
         return ops

@@ -215,7 +215,10 @@ class GarbageCollector:
                 is_slc=victim.is_slc,
                 cause=Cause.GC,
             ))
-            self.allocator.release(victim.block_id)
+            # A fault plan may retire the block on erase (grown bad block);
+            # RETIRED blocks never rejoin the free pool.
+            if victim.state is BlockState.FREE:
+                self.allocator.release(victim.block_id)
             if self.wear is not None:
                 self.wear.note_erase()
             self.stats.collections += 1
@@ -291,7 +294,10 @@ class GarbageCollector:
             kind=OpKind.ERASE, block_id=source.block_id, page=0, n_slots=0,
             is_slc=source.is_slc, cause=Cause.WEAR,
         ))
-        self.allocator.release(source.block_id)
+        # Same retirement rule as _drain_step: a block the fault plan
+        # retired on erase stays out of the free pool for good.
+        if source.state is BlockState.FREE:
+            self.allocator.release(source.block_id)
         self.wear.note_erase()
         self.wear.leveling_moves += 1
         return ops

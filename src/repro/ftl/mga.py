@@ -139,13 +139,23 @@ class MGAFTL(BaseFTL):
             take = min(len(free), len(remaining))
             chunk, remaining = remaining[:take], remaining[take:]
             slots = free[:take]
-            ops.append(self.program_subpages(block, page, slots, chunk,
-                                             now, Cause.HOST))
+            op = self.program_subpages(block, page, slots, chunk,
+                                       now, Cause.HOST)
+            ops.append(op)
+            if op.block_id != block.block_id or op.page != page:
+                # Program failure remapped the pulse (same slot indices);
+                # pack state below re-derives from the actual target.
+                block = self.flash.block(op.block_id)
+                page = op.page
             for lsn, slot in zip(chunk, slots):
                 self.subpage_map.bind(lsn, PPA(block.block_id, page, slot))
             level = block.level if block.level is not None else 0
             self.stats.note_level_write(level)
-            if block.page_programmed[page] == block.spp or (
+            if not block.is_slc:
+                # Remap spilled to the high-density region: packing (a
+                # partial-programming feature) cannot continue there.
+                self._pack = None
+            elif block.page_programmed[page] == block.spp or (
                     block.program_count[page]
                     >= self.config.reliability.max_page_programs):
                 self._pack = None
@@ -161,8 +171,12 @@ class MGAFTL(BaseFTL):
             group = lsns[i:i + spp]
             block, page = self.alloc_mlc_page(now, ops)
             slots = list(range(len(group)))
-            ops.append(self.program_subpages(block, page, slots, group,
-                                             now, Cause.HOST))
+            op = self.program_subpages(block, page, slots, group,
+                                       now, Cause.HOST)
+            ops.append(op)
+            if op.block_id != block.block_id or op.page != page:
+                block = self.flash.block(op.block_id)
+                page = op.page
             for lsn, slot in zip(group, slots):
                 self.subpage_map.bind(lsn, PPA(block.block_id, page, slot))
             self.stats.note_level_write(int(BlockLevel.HIGH_DENSITY))
@@ -195,7 +209,11 @@ class MGAFTL(BaseFTL):
             del self._evict_buffer[:spp]
             block, page = self.alloc_mlc_page(now, ops, for_gc=True)
             slots = list(range(len(group)))
-            ops.append(self.program_subpages(block, page, slots, group, now, cause))
+            op = self.program_subpages(block, page, slots, group, now, cause)
+            ops.append(op)
+            if op.block_id != block.block_id or op.page != page:
+                block = self.flash.block(op.block_id)
+                page = op.page
             for lsn, slot in zip(group, slots):
                 self._evict_pending.discard(lsn)
                 self.subpage_map.bind(lsn, PPA(block.block_id, page, slot))

@@ -40,6 +40,7 @@ class BlockState(enum.Enum):
     OPEN = "open"        #: allocated, accepting new pages
     FULL = "full"        #: every page programmed at least once
     VICTIM = "victim"    #: selected for GC, being drained
+    RETIRED = "retired"  #: grown bad block, permanently out of service
 
 
 class Block:
@@ -389,6 +390,23 @@ class Block:
         self.pages_with_valid = 0
         self.content_epoch += 1
         self.read_count = 0
+
+    def retire(self) -> None:
+        """Permanently remove a grown-bad block from service.
+
+        Retirement happens after the (possibly failed) erase pulse has run
+        — :meth:`erase` already moved the block to FREE, reset its content
+        and notified the watchers — so this transition only takes the
+        block out of the free population.  A retired block never re-enters
+        an allocator pool (capacity degradation is exactly this loss)."""
+        if self.state is not BlockState.FREE:
+            raise SubpageStateError(
+                f"block {self.block_id}: retire while {self.state.value} "
+                f"(blocks retire from the just-erased FREE state)")
+        self.state = BlockState.RETIRED
+        counters = self.counters
+        if counters is not None:
+            counters.note_retire()
 
     def open_as(self, level: int, now: float) -> None:
         """Transition a free block to OPEN with a block-level label."""

@@ -74,6 +74,11 @@ class RegionCounters:
         self.invalid_subpages -= block.n_invalid
         self.programmed_subpages -= block.n_programmed
 
+    def note_retire(self) -> None:
+        # A block retires from the just-erased FREE state, so it leaves
+        # the free population; its content counters are already zero.
+        self.free_blocks -= 1
+
 
 class FlashArray:
     """Physical flash device: blocks, regions, wear and disturb."""
@@ -108,6 +113,12 @@ class FlashArray:
         self.programs_mlc = 0
         self.partial_programs = 0
         self.disturbed_valid_subpages = 0
+        #: Optional :class:`repro.faults.FaultPlan`.  When attached, every
+        #: erase consults it: a sampled erase failure or an earlier
+        #: program-failure condemnation retires the block instead of
+        #: returning it to service.  ``None`` (the default) keeps the
+        #: erase path bit-identical to a device without fault injection.
+        self.faults = None
 
     # -- queries ----------------------------------------------------------
 
@@ -230,13 +241,22 @@ class FlashArray:
         self.blocks[block_id].invalidate(page, slot)
 
     def erase(self, block_id: int) -> int:
-        """Erase a drained block; returns its new erase count."""
+        """Erase a drained block; returns its new erase count.
+
+        With a fault plan attached the erase may *fail*: the pulse still
+        runs (wear and latency are charged) but the block is retired into
+        the bad-block table instead of rejoining the free population.
+        Callers observe this through ``block.state`` (RETIRED vs FREE).
+        """
         block = self.blocks[block_id]
         block.erase()
         if block.is_slc:
             self.erases_slc += 1
         else:
             self.erases_mlc += 1
+        faults = self.faults
+        if faults is not None and faults.should_retire_after_erase(block):
+            block.retire()
         return block.erase_count
 
     # -- statistics -----------------------------------------------------------

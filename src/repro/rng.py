@@ -16,6 +16,12 @@ import numpy as np
 #: Root seed used when the caller does not supply one.
 DEFAULT_SEED: int = 0x5EED_CACE
 
+#: Stream-key prefix reserved for the fault-injection subsystem
+#: (:mod:`repro.faults`).  Every stochastic fault mechanism draws from
+#: ``faults:<mechanism>`` so fault sampling never perturbs the trace or
+#: error-model streams derived from the same root seed.
+FAULTS_STREAM: str = "faults"
+
 
 def derive_seed(root: int, key: str) -> int:
     """Derive a stable 64-bit child seed from ``root`` and a stream ``key``.
@@ -47,6 +53,19 @@ def make_rng(seed: int | None = None, key: str = "") -> np.random.Generator:
     if key:
         root = derive_seed(root, key)
     return np.random.default_rng(root)
+
+
+def faults_rng(seed: int | None, mechanism: str) -> np.random.Generator:
+    """Generator for one fault-injection mechanism (e.g. ``"read"``).
+
+    A thin wrapper over :func:`make_rng` with the :data:`FAULTS_STREAM`
+    key prefix: mechanisms stay mutually independent, and a simulation
+    with fault injection disabled consumes none of these streams, so its
+    other randomness is bit-identical to a run without the subsystem.
+    """
+    if not mechanism:
+        raise ValueError("fault mechanism name must be non-empty")
+    return make_rng(seed, key=f"{FAULTS_STREAM}:{mechanism}")
 
 
 def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:

@@ -28,6 +28,7 @@ class Cause(enum.Enum):
     GC = "gc"              #: garbage-collection traffic
     WEAR = "wear"          #: static wear-levelling traffic
     TRANSLATION = "xlat"   #: demand-paged mapping lookups (extension)
+    FAULT = "fault"        #: fault handling (read-reclaim, torn-page repair)
 
 
 @dataclass(slots=True)

@@ -11,6 +11,7 @@ triggering request's own host ops.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field, fields
 
@@ -86,6 +87,21 @@ class SimulationResult:
     mlc_wear_spread: int = 0
     mapping_table_bytes: int = 0
     metadata_bytes: int = 0
+
+    # Fault-injection degradation counters (repro.faults).  All zero —
+    # and bit-identical to pre-fault results — unless a FaultPlan was
+    # attached to the FTL.
+    read_faults: int = 0
+    read_retries: int = 0
+    uncorrectable_reads: int = 0
+    fault_relocations: int = 0
+    program_failures: int = 0
+    erase_failures: int = 0
+    retired_blocks: int = 0
+    power_loss_events: int = 0
+    torn_subpages: int = 0
+    recovered_subpages: int = 0
+    recovery_ms: float = 0.0
 
     # -- headline metrics -------------------------------------------------
 
@@ -183,6 +199,29 @@ class SimulationResult:
         return out
 
 
+def _apply_fault_stats(result: SimulationResult, ftl) -> None:
+    """Copy a FaultPlan's degradation counters into the result.
+
+    No-op (fields stay at their zero defaults) when the FTL carries no
+    plan, which keeps fault-free results bit-identical to the pre-fault
+    schema's."""
+    plan = getattr(ftl, "faults", None)
+    if plan is None:
+        return
+    s = plan.stats
+    result.read_faults = s.read_faults
+    result.read_retries = s.read_retries
+    result.uncorrectable_reads = s.uncorrectable_reads
+    result.fault_relocations = s.fault_relocations
+    result.program_failures = s.program_failures
+    result.erase_failures = s.erase_failures
+    result.retired_blocks = s.retired_blocks
+    result.power_loss_events = s.power_loss_events
+    result.torn_subpages = s.torn_subpages
+    result.recovered_subpages = s.recovered_subpages
+    result.recovery_ms = s.recovery_ms
+
+
 class Simulator:
     """Replays traces against one FTL instance."""
 
@@ -236,6 +275,10 @@ class Simulator:
         segments_ms = timing.segments_ms
         acquire_pipelined = resources.acquire_pipelined
         hostlike = (Cause.HOST, Cause.TRANSLATION)
+        faults_plan = getattr(ftl, "faults", None)
+        # One float compare per request when power loss is disabled.
+        next_power_loss = (faults_plan.next_power_loss(0.0)
+                           if faults_plan is not None else math.inf)
 
         pair = resources._pair
         erase_ms = timing._erase_ms
@@ -281,6 +324,12 @@ class Simulator:
         now = 0.0
         for i in range(n):
             now = times[i]
+            while now >= next_power_loss:
+                # Power loss + mount recovery happen while the device is
+                # off: they advance the fault stats (and recovery_ms) but
+                # reserve no chip time against in-flight requests.
+                faults_plan.power_loss(ftl, next_power_loss, timing)
+                next_power_loss = faults_plan.next_power_loss(next_power_loss)
             if idle_gc and now - last_arrival >= idle_threshold:
                 for op in ftl.idle_collect(now):
                     reserve(op, now)
@@ -359,6 +408,7 @@ class Simulator:
         breakdown = mapping_breakdown(ftl.scheme_name, self.config)
         result.mapping_table_bytes = breakdown.mapping_bytes
         result.metadata_bytes = breakdown.metadata_bytes
+        _apply_fault_stats(result, ftl)
         return result
 
     def run_closed(self, trace: Trace, queue_depth: int = 8) -> SimulationResult:
@@ -480,6 +530,7 @@ class Simulator:
         breakdown = mapping_breakdown(ftl.scheme_name, self.config)
         result.mapping_table_bytes = breakdown.mapping_bytes
         result.metadata_bytes = breakdown.metadata_bytes
+        _apply_fault_stats(result, ftl)
         return result
 
 

@@ -72,6 +72,38 @@ def test_d001_good_path_uses_make_rng(tmp_path):
     assert "D001" not in rules
 
 
+def test_d001_flags_fault_injector_direct_randomness(tmp_path):
+    """Fault injectors are not exempt: sampling outside the dedicated
+    ``faults`` stream would break the rate-0 bit-identity contract."""
+    rules, _ = lint_snippet(tmp_path, "faults/plan.py", """
+        import numpy as np
+
+        def program_fails(rate):
+            return np.random.default_rng().random() < rate
+        """)
+    assert "D001" in rules
+
+
+def test_d001_flags_fault_injector_stdlib_random(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "faults/plan.py", """
+        import random
+
+        def erase_fails(rate):
+            return random.random() < rate
+        """)
+    assert rules.count("D001") >= 2  # the import and the call chain
+
+
+def test_d001_good_fault_injector_uses_faults_rng(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "faults/plan.py", """
+        from repro.rng import faults_rng
+
+        def program_fails(seed, rate):
+            return faults_rng(seed, "program").random() < rate
+        """)
+    assert "D001" not in rules
+
+
 def test_d001_allows_rng_module_itself(tmp_path):
     rules, _ = lint_snippet(tmp_path, "rng.py", """
         import numpy as np
