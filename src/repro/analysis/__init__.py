@@ -11,7 +11,16 @@ Machine-checks the repository's simulation contracts (see
           ``CACHE_SCHEMA_VERSION`` bump (vs the committed snapshot)
 ``S002``  Block counter / subpage-state writes outside ``nand/block.py``
 ``C001``  magic size/latency literals outside ``repro.config``/``units``
+``U001``  mixed-unit arithmetic (ms vs bytes vs counts)
+``U002``  address-space confusion (lsn/lpn/ppn interchange)
+``U003``  unconverted or double-converted unit boundary crossings
 ========  ==========================================================
+
+The U-family is interprocedural: a project-wide call graph
+(:mod:`repro.analysis.callgraph`) and a unit-inference engine
+(:mod:`repro.analysis.units_flow`) propagate dimension facts from the
+``repro.units`` ``Annotated`` vocabulary and naming conventions through
+assignments, arithmetic, returns, and call edges.
 
 Pure standard library (``ast`` + ``json``): importable and runnable even
 where numpy is not, and adding a rule cannot perturb simulation results.
@@ -44,6 +53,11 @@ from .schema import (
     extract_result_schema,
     write_schema_snapshot,
 )
+from .units_flow import (
+    AddressSpaceConfusionRule,
+    LossyBoundaryCrossingRule,
+    MixedUnitArithmeticRule,
+)
 
 #: The rule catalogue, in report order.
 ALL_RULES: tuple[Rule, ...] = (
@@ -53,6 +67,9 @@ ALL_RULES: tuple[Rule, ...] = (
     SchemaDriftRule(),
     BlockCounterWriteRule(),
     ConfigLiteralRule(),
+    MixedUnitArithmeticRule(),
+    AddressSpaceConfusionRule(),
+    LossyBoundaryCrossingRule(),
 )
 
 #: ``{rule_id: rule}`` lookup.
@@ -61,6 +78,9 @@ RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
 __all__ = [
     "ALL_RULES",
     "RULES_BY_ID",
+    "AddressSpaceConfusionRule",
+    "LossyBoundaryCrossingRule",
+    "MixedUnitArithmeticRule",
     "BASELINE_NAME",
     "BaselineMatch",
     "LintResult",

@@ -61,7 +61,8 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="report format (default: text)")
     parser.add_argument("--select", metavar="RULES",
-                        help="comma-separated rule ids to run "
+                        help="comma-separated rule ids (U001) and/or "
+                             "family prefixes (U = every U-rule) to run "
                              "(default: all)")
     parser.add_argument("--baseline", metavar="PATH",
                         help=f"baseline file (default: {BASELINE_NAME} "

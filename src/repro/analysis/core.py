@@ -109,15 +109,23 @@ class SourceFile:
         return ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ProjectContext:
-    """Inputs for rules that look at the tree as a whole (S001)."""
+    """Inputs for rules that look at the tree as a whole (S001, U-rules).
+
+    ``eq=False`` keeps identity hashing so interprocedural rules can memoize
+    one whole-tree analysis per run in a ``WeakKeyDictionary`` keyed on the
+    context (the three U-rules share a single dataflow pass).
+    """
 
     #: Directory being linted — normally ``src/repro``.
     package_root: Path
     #: Repository root holding ``results/schema_snapshot.json`` and the
     #: baseline file; ``None`` when linting a bare directory (fixtures).
     repo_root: Path | None = None
+    #: Every successfully parsed module, keyed by relpath — the input to
+    #: project-wide dataflow (empty for rules that never look at it).
+    sources: dict[str, SourceFile] = field(default_factory=dict)
 
     @property
     def snapshot_path(self) -> Path | None:
@@ -223,7 +231,8 @@ def run_lint(package_root: "Path | str",
     rules:
         Rule instances to run; defaults to :data:`repro.analysis.ALL_RULES`.
     select:
-        Optional whitelist of rule ids.
+        Optional whitelist of rule ids (``U001``) and/or family prefixes
+        (``U`` selects every ``U``-rule, ``S`` every ``S``-rule).
     """
     from . import ALL_RULES  # late import: rules import this module
 
@@ -231,10 +240,20 @@ def run_lint(package_root: "Path | str",
     repo = Path(repo_root) if repo_root is not None else None
     active = list(rules) if rules is not None else list(ALL_RULES)
     if select is not None:
-        wanted = set(select)
-        unknown = wanted - {r.id for r in active}
+        known = {r.id for r in active}
+        wanted: set[str] = set()
+        unknown: list[str] = []
+        for item in select:
+            if item in known:
+                wanted.add(item)
+                continue
+            family = {rid for rid in known if item and rid.startswith(item)}
+            if family:
+                wanted.update(family)
+            else:
+                unknown.append(item)
         if unknown:
-            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+            raise ValueError(f"unknown rule ids: {sorted(set(unknown))}")
         active = [r for r in active if r.id in wanted]
 
     sources: dict[str, SourceFile] = {}
@@ -256,9 +275,13 @@ def run_lint(package_root: "Path | str",
                 if not src.suppressed(v):
                     violations.append(v)
 
-    ctx = ProjectContext(package_root=package_root, repo_root=repo)
+    ctx = ProjectContext(package_root=package_root, repo_root=repo,
+                         sources=sources)
     for rule in active:
-        violations.extend(rule.check_project(ctx))
+        for v in rule.check_project(ctx):
+            src = sources.get(v.path)
+            if src is None or not src.suppressed(v):
+                violations.append(v)
 
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     violations = _assign_fingerprints(violations, sources)

@@ -26,6 +26,7 @@ from ..sim.ops import Cause, OpRecord
 from ..ftl.base import BaseFTL
 from ..ftl.levels import BlockLevel
 from ..ftl.mapping import SubpageMap
+from ..units import Lsn, Ms
 from ..ftl.victim import IsrVictimPolicy, VictimPolicy
 from .intra_page import plan_intra_page_update
 
@@ -49,13 +50,13 @@ class IPUFTL(BaseFTL):
 
     # -- mapping ----------------------------------------------------------
 
-    def lookup(self, lsn: int) -> PPA | None:
+    def lookup(self, lsn: Lsn) -> PPA | None:
         return self.subpage_map.lookup(lsn)
 
     def iter_bindings(self):
         yield from self.subpage_map.items()
 
-    def _invalidate_lsn(self, lsn: int) -> None:
+    def _invalidate_lsn(self, lsn: Lsn) -> None:
         ppa = self.subpage_map.lookup(lsn)
         if ppa is not None:
             self.flash.invalidate(ppa.block, ppa.page, ppa.slot)
@@ -63,7 +64,7 @@ class IPUFTL(BaseFTL):
 
     # -- write path -------------------------------------------------------------
 
-    def write(self, lsns: list[int], now: float) -> list[OpRecord]:
+    def write(self, lsns: list[Lsn], now: Ms) -> list[OpRecord]:
         ops: list[OpRecord] = []
         lookup = self.subpage_map.lookup
         get_block = self.flash.blocks.__getitem__
@@ -81,7 +82,7 @@ class IPUFTL(BaseFTL):
             ops.extend(self._out_of_place_write(chunk, mappings, now))
         return ops
 
-    def _intra_page_update(self, chunk: list[int], plan, now: float) -> OpRecord:
+    def _intra_page_update(self, chunk: list[int], plan, now: Ms) -> OpRecord:
         """Algorithm 1 lines 6-9: update inside the same page."""
         block = self.flash.block(plan.block_id)
         invalidate = self.flash.invalidate
@@ -110,7 +111,7 @@ class IPUFTL(BaseFTL):
         return op
 
     def _out_of_place_write(self, chunk: list[int], mappings: list[PPA | None],
-                            now: float) -> list[OpRecord]:
+                            now: Ms) -> list[OpRecord]:
         """Algorithm 1 lines 4-5 and 10-11: fresh page, possibly upgraded."""
         ops: list[OpRecord] = []
         mapped = [m for m in mappings if m is not None]
@@ -153,7 +154,7 @@ class IPUFTL(BaseFTL):
     # -- GC movement (degraded data movement, lines 14-19) -----------------------------
 
     def _relocate_slc_page(self, victim: Block, page: int, slots: list[int],
-                           lsns: list[int], now: float, cause: Cause) -> list[OpRecord]:
+                           lsns: list[Lsn], now: Ms, cause: Cause) -> list[OpRecord]:
         updated = bool(victim.page_updated[page])
         level = BlockLevel(victim.level if victim.level is not None else
                            int(BlockLevel.WORK))
@@ -173,14 +174,14 @@ class IPUFTL(BaseFTL):
         return ops
 
     def _relocate_mlc_page(self, victim: Block, page: int, slots: list[int],
-                           lsns: list[int], now: float, cause: Cause) -> list[OpRecord]:
+                           lsns: list[Lsn], now: Ms, cause: Cause) -> list[OpRecord]:
         ops: list[OpRecord] = []
         res = self.alloc_mlc_page(now, ops, for_gc=True)
         ops.extend(self._move_chunk(victim, page, slots, lsns, res, now, cause))
         return ops
 
     def _move_chunk(self, victim: Block, page: int, slots: list[int],
-                    lsns: list[int], dest: tuple[Block, int], now: float,
+                    lsns: list[Lsn], dest: tuple[Block, int], now: Ms,
                     cause: Cause) -> list[OpRecord]:
         """Program one page's valid data compactly at the destination.
 

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..config import ReliabilityConfig, TimingConfig
 from ..errors import ConfigError
-from ..units import KIB
+from ..units import KIB, Bytes, Ms
 from .bch import BCHCode
 
 #: Subpage payload a failure-probability query covers (4 KiB LSN unit).
@@ -43,7 +43,7 @@ class EccModel:
         # it is fixed for a code, so resolve it once.
         self._cw_bits = self.code.codeword_bits
 
-    def decode_ms(self, rber: float) -> float:
+    def decode_ms(self, rber: float) -> Ms:
         """Decode time for data read at uniform ``rber``."""
         if rber < 0:
             raise ConfigError(f"negative RBER {rber}")
@@ -51,7 +51,7 @@ class EccModel:
         frac = min(1.0, lam / self._t)
         return self._min + self._span * frac
 
-    def decode_ms_for_subpages(self, rbers: "np.ndarray | list[float]") -> float:
+    def decode_ms_for_subpages(self, rbers: "np.ndarray | list[float]") -> Ms:
         """Decode time for one page read covering several subpages.
 
         Codewords are decoded in a pipeline, so the slowest (highest-RBER)
@@ -80,7 +80,7 @@ class EccModel:
         frac = np.minimum(1.0, lam / self._t)
         return self._min + self._span * frac
 
-    def expected_raw_errors(self, rber: float, nbytes: int) -> float:
+    def expected_raw_errors(self, rber: float, nbytes: Bytes) -> float:
         """Expected raw bit errors when reading ``nbytes`` at ``rber``."""
         if nbytes < 0:
             raise ValueError(f"negative read size {nbytes}")

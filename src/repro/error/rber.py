@@ -24,6 +24,7 @@ import numpy as np
 
 from ..config import ReliabilityConfig
 from ..errors import ConfigError
+from ..units import PeCycles
 
 
 class RberModel:
@@ -49,7 +50,7 @@ class RberModel:
 
     # -- base curves -----------------------------------------------------
 
-    def base(self, pe: float, slc: bool = True) -> float:
+    def base(self, pe: PeCycles, slc: bool = True) -> float:
         """Conventional-programming RBER at ``pe`` P/E cycles."""
         cached = self._base_cache.get((pe, slc))
         if cached is not None:
@@ -62,7 +63,7 @@ class RberModel:
         self._base_cache[(pe, slc)] = value
         return value
 
-    def disturb_unit(self, pe: float) -> float:
+    def disturb_unit(self, pe: PeCycles) -> float:
         """In-page disturb RBER increment of one partial-program pass.
 
         Scales with the base curve so the conventional/partial gap grows
@@ -77,7 +78,7 @@ class RberModel:
         self._unit_cache[pe] = value
         return value
 
-    def partial_typical(self, pe: float) -> float:
+    def partial_typical(self, pe: PeCycles) -> float:
         """RBER of a subpage that received the full partial-program budget.
 
         This is the "partial programming" curve of Figure 2.
@@ -87,7 +88,7 @@ class RberModel:
 
     # -- per-subpage evaluation -------------------------------------------
 
-    def subpage_rber(self, pe: float, slc: bool, n_in: int = 0, n_nb: int = 0) -> float:
+    def subpage_rber(self, pe: PeCycles, slc: bool, n_in: int = 0, n_nb: int = 0) -> float:
         """RBER of one subpage given its disturb history.
 
         Parameters

@@ -31,6 +31,7 @@ from pathlib import Path
 from ..config import SSDConfig
 from ..configio import config_to_dict
 from ..traces.profiles import TraceProfile
+from ..units import Ms
 
 #: Bump whenever simulator behaviour or the result schema changes, so a
 #: code change can never be masked by a stale cache entry.
@@ -46,7 +47,7 @@ def default_cache_dir() -> Path:
 
 
 def cell_key(config: SSDConfig, profile: TraceProfile, n_requests: int,
-             interarrival_ms: float | None, scheme: str, scale: str,
+             interarrival_ms: Ms | None, scheme: str, scale: str,
              seed: int, length_factor: float = 1.0,
              pe: int | None = None,
              faults: dict | None = None) -> str:

@@ -38,6 +38,7 @@ from ..sim.simulator import SimulationResult, Simulator
 from ..traces.model import Trace
 from ..traces.profiles import TRACE_NAMES, TraceProfile, profile
 from ..traces.synth import SyntheticTraceGenerator
+from ..units import Ms
 from .cache import ResultCache, cell_key as _cache_cell_key
 
 #: SLC cache size over the trace's hot-set bytes.
@@ -64,7 +65,7 @@ SCHEME_ORDER = ("baseline", "mga", "ipu")
 
 
 def estimate_interarrival_ms(prof: TraceProfile, config: SSDConfig,
-                             utilization: float = TARGET_UTILIZATION) -> float:
+                             utilization: float = TARGET_UTILIZATION) -> Ms:
     """Mean inter-arrival time giving roughly the target chip utilisation."""
     t = config.timing
     subpage = config.geometry.subpage_size

@@ -16,6 +16,7 @@ byte-identical JSON, sequentially or under ``--jobs`` fan-out.
 from __future__ import annotations
 
 import json
+from typing import TYPE_CHECKING, Sequence
 
 from ..experiments.runner import (
     SCHEME_ORDER,
@@ -24,6 +25,9 @@ from ..experiments.runner import (
 )
 from ..traces.profiles import TRACE_NAMES
 from .config import FaultConfig
+
+if TYPE_CHECKING:
+    from ..experiments.cache import ResultCache
 
 #: Campaign payload layout version (independent of the result cache's).
 CAMPAIGN_SCHEMA = 1
@@ -46,9 +50,12 @@ CURVE_FIELDS = (
 _campaign_contexts: dict[int, RunContext] = register_context_pool({})
 
 
-def run_campaign(rates=DEFAULT_RATES, scale: str = "smoke", seed: int = 1,
-                 traces=None, schemes=SCHEME_ORDER,
-                 jobs: int | None = None, cache=None) -> dict:
+def run_campaign(rates: Sequence[float] = DEFAULT_RATES,
+                 scale: str = "smoke", seed: int = 1,
+                 traces: Sequence[str] | None = None,
+                 schemes: Sequence[str] = SCHEME_ORDER,
+                 jobs: int | None = None,
+                 cache: "ResultCache | None" = None) -> dict:
     """Run the sweep; returns the JSON-ready campaign payload.
 
     One fresh :class:`~repro.experiments.runner.RunContext` per rate

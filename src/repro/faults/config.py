@@ -16,6 +16,7 @@ import json
 from dataclasses import dataclass, fields
 
 from ..errors import ConfigError
+from ..units import Ms
 
 
 @dataclass(frozen=True)
@@ -43,7 +44,7 @@ class FaultConfig:
     #: Reads that needed at least this many retries relocate the page.
     relocate_after_retries: int = 2
     #: Subpages programmed within this window before a power loss are torn.
-    torn_window_ms: float = 1.0
+    torn_window_ms: Ms = 1.0
     #: Cap on the fraction of a region's blocks that may retire; past it
     #: failures are still counted but blocks return to service (a real
     #: drive would go read-only — the simulator keeps serving instead of

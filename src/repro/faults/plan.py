@@ -21,12 +21,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..nand.block import Block
 from ..rng import faults_rng
 from ..sim.ops import OpRecord
 from .badblocks import BadBlockTable
 from .config import FaultConfig
+from ..units import Ms
+
+if TYPE_CHECKING:
+    from ..ftl.base import BaseFTL
+    from ..nand.flash import FlashArray
+    from ..sim.timing import TimingModel
 
 
 @dataclass
@@ -43,7 +50,7 @@ class FaultStats:
     power_loss_events: int = 0     #: power losses injected
     torn_subpages: int = 0         #: subpages torn by power loss
     recovered_subpages: int = 0    #: torn subpages the mount scan repaired
-    recovery_ms: float = 0.0       #: total mount-time recovery cost
+    recovery_ms: Ms = 0.0          #: total mount-time recovery cost
 
 
 class FaultPlan:
@@ -65,7 +72,7 @@ class FaultPlan:
         self._erase_rng = faults_rng(seed, "erase")
         self._power_rng = faults_rng(seed, "power")
 
-    def bind(self, flash) -> None:
+    def bind(self, flash: FlashArray) -> None:
         """Attach the plan to a device (sizes the bad-block budget)."""
         self.badblocks = BadBlockTable(flash, self.config.max_retire_fraction)
 
@@ -148,14 +155,14 @@ class FaultPlan:
 
     # -- power loss ---------------------------------------------------------
 
-    def next_power_loss(self, now: float) -> float:
+    def next_power_loss(self, now: Ms) -> Ms:
         """Simulated time of the next power-loss event (inf if disabled)."""
         rate = self.config.power_loss_per_ms
         if rate <= 0.0:
             return math.inf
         return now + float(self._power_rng.exponential(1.0 / rate))
 
-    def power_loss(self, ftl, now: float, timing) -> float:
+    def power_loss(self, ftl: BaseFTL, now: Ms, timing: TimingModel) -> Ms:
         """Inject one power loss; returns the mount-recovery time (ms)."""
         from .recovery import run_power_loss
         return run_power_loss(ftl, self, now, timing)
@@ -171,7 +178,7 @@ class FaultPlan:
         return ops
 
 
-def attach_faults(ftl, config: FaultConfig | None,
+def attach_faults(ftl: BaseFTL, config: FaultConfig | None,
                   seed: int | None = None) -> FaultPlan | None:
     """Wire a fault plan into an FTL and its flash array.
 

@@ -25,11 +25,20 @@ mount, not in-flight host requests.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..nand.block import BlockState
 from ..sim.ops import Cause, OpKind, OpRecord
+from ..units import Ms
+
+if TYPE_CHECKING:
+    from ..ftl.base import BaseFTL
+    from ..sim.timing import TimingModel
+    from .plan import FaultPlan
 
 
-def run_power_loss(ftl, plan, now: float, timing) -> float:
+def run_power_loss(ftl: BaseFTL, plan: FaultPlan, now: Ms,
+                   timing: TimingModel) -> Ms:
     """Inject one power-loss event at ``now``; returns the recovery ms."""
     stats = plan.stats
     stats.power_loss_events += 1

@@ -24,6 +24,7 @@ import numpy as np
 from ..errors import AllocationError
 from ..nand.block import Block, BlockState
 from ..nand.flash import FlashArray
+from ..units import Ms
 
 #: Free blocks host allocations may not dip into — garbage collection
 #: always needs landing room, or a nearly-full region deadlocks.
@@ -232,7 +233,7 @@ class RegionAllocator:
         heapq.heappush(self._free[stripe], (block.erase_count, block_id))
         self._free_count += 1
 
-    def _pop_free(self, stripe: int, level: int, now: float) -> Block | None:
+    def _pop_free(self, stripe: int, level: int, now: Ms) -> Block | None:
         """Open the least-worn free block, preferring ``stripe``'s plane."""
         order = [stripe] + [s for s in range(self.stripes) if s != stripe]
         for s in order:
@@ -249,7 +250,7 @@ class RegionAllocator:
 
     # -- page allocation ---------------------------------------------------
 
-    def alloc_page(self, level: int, now: float,
+    def alloc_page(self, level: int, now: Ms,
                    for_gc: bool = False) -> tuple[Block, int] | None:
         """Next free page of the active block for ``level``.
 

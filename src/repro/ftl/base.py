@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..config import SSDConfig
 from ..error import EccModel
@@ -28,11 +29,15 @@ from ..nand.flash import FlashArray
 from ..nand.geometry import PPA
 from ..nand.wear import WearTracker
 from ..sim.ops import Cause, OpKind, OpRecord
+from ..units import Lsn, Ms
 from .allocator import RegionAllocator
 from .gc import GarbageCollector
 from .levels import BlockLevel
 from .translation import CachedMappingTable
 from .victim import GreedyPageVictimPolicy, GreedyVictimPolicy, VictimPolicy
+
+if TYPE_CHECKING:
+    from ..faults.plan import FaultPlan
 
 #: Key-space offset separating second-level translation entries from the
 #: first-level (page map) entries in the cached mapping table.
@@ -119,26 +124,26 @@ class BaseFTL(abc.ABC):
         #: :func:`repro.faults.attach_faults`.  ``None`` (the default)
         #: keeps every path below bit-identical to a device without
         #: fault injection.
-        self.faults = None
+        self.faults: "FaultPlan | None" = None
 
     # -- scheme hooks -----------------------------------------------------
 
     @abc.abstractmethod
-    def lookup(self, lsn: int) -> PPA | None:
+    def lookup(self, lsn: Lsn) -> PPA | None:
         """Current physical location of ``lsn`` (None if never written)."""
 
     @abc.abstractmethod
-    def write(self, lsns: list[int], now: float) -> list[OpRecord]:
+    def write(self, lsns: list[Lsn], now: Ms) -> list[OpRecord]:
         """Service a host write of the given logical subpages."""
 
     @abc.abstractmethod
     def _relocate_slc_page(self, victim: Block, page: int, slots: list[int],
-                           lsns: list[int], now: float, cause: Cause) -> list[OpRecord]:
+                           lsns: list[Lsn], now: Ms, cause: Cause) -> list[OpRecord]:
         """Move one SLC victim page's valid data (GC / wear levelling)."""
 
     @abc.abstractmethod
     def _relocate_mlc_page(self, victim: Block, page: int, slots: list[int],
-                           lsns: list[int], now: float, cause: Cause) -> list[OpRecord]:
+                           lsns: list[Lsn], now: Ms, cause: Cause) -> list[OpRecord]:
         """Move one MLC victim page's valid data (GC / wear levelling)."""
 
     def _make_slc_policy(self) -> VictimPolicy:
@@ -155,7 +160,7 @@ class BaseFTL(abc.ABC):
 
     # -- request dispatch -----------------------------------------------------
 
-    def handle_write(self, lsns: list[int], now: float) -> list[OpRecord]:
+    def handle_write(self, lsns: list[Lsn], now: Ms) -> list[OpRecord]:
         """Write path, preceded by the (bounded) foreground GC check.
 
         GC work runs ahead of the write on the same chips, so a request
@@ -174,7 +179,7 @@ class BaseFTL(abc.ABC):
             ops.extend(faults.drain_ops())
         return ops
 
-    def handle_read(self, lsns: list[int], now: float) -> list[OpRecord]:
+    def handle_read(self, lsns: list[Lsn], now: Ms) -> list[OpRecord]:
         """Read path: mapped subpages from flash, the rest as pseudo reads.
 
         GC also advances on read arrivals — a device collects in the
@@ -237,7 +242,7 @@ class BaseFTL(abc.ABC):
             ops.extend(faults.drain_ops())
         return ops
 
-    def translation_keys(self, lsns: list[int]) -> list[int]:
+    def translation_keys(self, lsns: list[Lsn]) -> list[int]:
         """Cached-mapping-table keys a request touches.
 
         Page-mapped schemes (Baseline, IPU) consult one first-level entry
@@ -247,7 +252,7 @@ class BaseFTL(abc.ABC):
         spp = self.geometry.subpages_per_page
         return sorted({lsn // spp for lsn in lsns})
 
-    def _translate(self, lsns: list[int], write: bool) -> list[OpRecord]:
+    def _translate(self, lsns: list[Lsn], write: bool) -> list[OpRecord]:
         """Charge cached-mapping-table misses as foreground flash ops."""
         if self.cmt is None:
             return []
@@ -271,7 +276,7 @@ class BaseFTL(abc.ABC):
                     ecc_ms=self._pseudo_ecc_ms))
         return ops
 
-    def _pseudo_reads(self, lsns: list[int]) -> list[OpRecord]:
+    def _pseudo_reads(self, lsns: list[Lsn]) -> list[OpRecord]:
         """Reads of never-written data: priced as base-RBER MLC page reads.
 
         The data is assumed to pre-exist in the high-density region; a
@@ -296,7 +301,7 @@ class BaseFTL(abc.ABC):
             self.stats.pseudo_read_ops += 1
         return ops
 
-    def idle_collect(self, now: float) -> list[OpRecord]:
+    def idle_collect(self, now: Ms) -> list[OpRecord]:
         """Drain pending GC work during host idle time.
 
         Real devices collect in the background whenever the bus is quiet;
@@ -318,7 +323,7 @@ class BaseFTL(abc.ABC):
 
     # -- allocation helpers -----------------------------------------------------
 
-    def alloc_slc_page(self, level: BlockLevel, now: float,
+    def alloc_slc_page(self, level: BlockLevel, now: Ms,
                        ops: list[OpRecord] | None = None) -> tuple[Block, int] | None:
         """SLC page at ``level``, or None when the cache has no room.
 
@@ -329,7 +334,7 @@ class BaseFTL(abc.ABC):
         """
         return self.slc_alloc.alloc_page(int(level), now)
 
-    def alloc_mlc_page(self, now: float, ops: list[OpRecord] | None = None,
+    def alloc_mlc_page(self, now: Ms, ops: list[OpRecord] | None = None,
                        required: bool = True,
                        for_gc: bool = False) -> tuple[Block, int] | None:
         """MLC page; escalates through emergency GC before giving up.
@@ -362,7 +367,7 @@ class BaseFTL(abc.ABC):
     # -- programming helper ----------------------------------------------------
 
     def program_subpages(self, block: Block, page: int, slots: list[int],
-                         lsns: list[int], now: float, cause: Cause) -> OpRecord:
+                         lsns: list[Lsn], now: Ms, cause: Cause) -> OpRecord:
         """Program and account one flash program operation.
 
         Mirrors ``FlashArray.program`` inline (same bookkeeping, same
@@ -418,7 +423,7 @@ class BaseFTL(abc.ABC):
     # -- fault handling ----------------------------------------------------
 
     def _fault_remap_program(self, block: Block, page: int, slots: list[int],
-                             lsns: list[int], now: float,
+                             lsns: list[Lsn], now: Ms,
                              cause: Cause) -> tuple[Block, int]:
         """Service a sampled program failure; returns the fresh target.
 
@@ -456,7 +461,7 @@ class BaseFTL(abc.ABC):
                 return block, page
 
     def _fault_program_realloc(self, failed: Block,
-                               now: float) -> tuple[Block, int]:
+                               now: Ms) -> tuple[Block, int]:
         """Fresh landing page after a program failure.
 
         Prefers the failed block's own region and level; a dry SLC pool
@@ -479,7 +484,7 @@ class BaseFTL(abc.ABC):
         assert res is not None
         return res
 
-    def _fault_reclaim_page(self, block: Block, page: int, now: float,
+    def _fault_reclaim_page(self, block: Block, page: int, now: Ms,
                             slots: list[int] | None = None) -> list[OpRecord]:
         """Relocate a page's (still-)valid data after a fault.
 
@@ -512,7 +517,7 @@ class BaseFTL(abc.ABC):
 
     # -- shared chunking -----------------------------------------------------------
 
-    def chunks_by_lpn(self, lsns: list[int]) -> list[list[int]]:
+    def chunks_by_lpn(self, lsns: list[Lsn]) -> list[list[Lsn]]:
         """Split a request's subpages into per-logical-page chunks.
 
         Chunking is stable across rewrites of the same extent, which is

@@ -28,6 +28,7 @@ from ..sim.ops import Cause, OpKind, OpRecord
 from .base import BaseFTL
 from .levels import BlockLevel
 from .mapping import SubpageMap
+from ..units import Lpn, Lsn, Ms
 
 
 class BaselineFTL(BaseFTL):
@@ -44,7 +45,7 @@ class BaselineFTL(BaseFTL):
 
     # -- mapping -----------------------------------------------------------
 
-    def lookup(self, lsn: int) -> PPA | None:
+    def lookup(self, lsn: Lsn) -> PPA | None:
         return self.subpage_map.lookup(lsn)
 
     def iter_bindings(self):
@@ -52,7 +53,7 @@ class BaselineFTL(BaseFTL):
 
     # -- write path ------------------------------------------------------------
 
-    def write(self, lsns: list[int], now: float) -> list[OpRecord]:
+    def write(self, lsns: list[Lsn], now: Ms) -> list[OpRecord]:
         ops: list[OpRecord] = []
         spp = self.geometry.subpages_per_page
         lookup = self.subpage_map.lookup
@@ -103,7 +104,7 @@ class BaselineFTL(BaseFTL):
             stats.note_level_write(level)
         return ops
 
-    def _collect_siblings(self, lpn: int, chunk: list[int], now: float,
+    def _collect_siblings(self, lpn: Lpn, chunk: list[int], now: Ms,
                           ops: list[OpRecord]) -> list[int]:
         """Read the logical page's other live subpages for merging."""
         spp = self.geometry.subpages_per_page
@@ -134,7 +135,7 @@ class BaselineFTL(BaseFTL):
     # -- GC movement ----------------------------------------------------------------
 
     def _relocate_positional(self, victim: Block, page: int, slots: list[int],
-                             lsns: list[int], now: float, cause: Cause,
+                             lsns: list[Lsn], now: Ms, cause: Cause,
                              ) -> list[OpRecord]:
         """Move a page keeping slot positions; destination is always MLC.
 

@@ -36,6 +36,7 @@ from ..nand.geometry import PPA
 from ..sim.ops import Cause, OpKind, OpRecord
 from .base import BaseFTL
 from .levels import BlockLevel
+from ..units import Lsn, Ms
 from .mapping import SubpageMap
 
 #: Sentinel stored in slots holding packed delta bytes.
@@ -60,13 +61,13 @@ class DeltaFTL(BaseFTL):
 
     # -- mapping -----------------------------------------------------------
 
-    def lookup(self, lsn: int) -> PPA | None:
+    def lookup(self, lsn: Lsn) -> PPA | None:
         return self.subpage_map.lookup(lsn)
 
     def iter_bindings(self):
         yield from self.subpage_map.items()
 
-    def chain_length(self, lsn: int) -> int:
+    def chain_length(self, lsn: Lsn) -> int:
         """Deltas stacked on ``lsn``'s page (0 = original only)."""
         ppa = self.subpage_map.lookup(lsn)
         if ppa is None:
@@ -75,7 +76,7 @@ class DeltaFTL(BaseFTL):
 
     # -- write path -------------------------------------------------------------
 
-    def write(self, lsns: list[int], now: float) -> list[OpRecord]:
+    def write(self, lsns: list[Lsn], now: Ms) -> list[OpRecord]:
         ops: list[OpRecord] = []
         for chunk in self.chunks_by_lpn(lsns):
             mappings = [self.subpage_map.lookup(lsn) for lsn in chunk]
@@ -172,7 +173,7 @@ class DeltaFTL(BaseFTL):
 
     # -- read path (originals + deltas) ----------------------------------------
 
-    def handle_read(self, lsns: list[int], now: float) -> list[OpRecord]:
+    def handle_read(self, lsns: list[Lsn], now: Ms) -> list[OpRecord]:
         ops = super().handle_read(lsns, now)
         # Charge the extra transfer of delta slots sharing the read pages.
         extra: dict[tuple[int, int], int] = {}
@@ -198,7 +199,7 @@ class DeltaFTL(BaseFTL):
     # -- GC movement: consolidation -----------------------------------------------
 
     def _relocate_page(self, victim: Block, page: int, slots: list[int],
-                       lsns: list[int], now: float, cause: Cause,
+                       lsns: list[Lsn], now: Ms, cause: Cause,
                        to_mlc: bool) -> list[OpRecord]:
         """Move consolidated data (deltas applied) to a fresh page."""
         ops: list[OpRecord] = []

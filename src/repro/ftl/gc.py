@@ -27,6 +27,7 @@ from ..nand.flash import FlashArray
 from ..nand.wear import WearTracker
 from ..sim.ops import Cause, OpKind, OpRecord
 from .allocator import RegionAllocator
+from ..units import Ms
 from .victim import VictimPolicy
 
 #: Relocation callback: (victim, page, slots, lsns, now, cause) -> ops.
@@ -118,7 +119,7 @@ class GarbageCollector:
         """True while a victim is partially drained."""
         return self._victim is not None
 
-    def maybe_collect(self, now: float) -> list[OpRecord]:
+    def maybe_collect(self, now: Ms) -> list[OpRecord]:
         """One incremental GC step: continue or start a drain if needed."""
         # Checked on every host request for both regions — the usual
         # answer is "nothing to do", so take it without going through the
@@ -152,7 +153,7 @@ class GarbageCollector:
 
     # -- mechanics ----------------------------------------------------------------
 
-    def _select(self, now: float) -> Block | None:
+    def _select(self, now: Ms) -> Block | None:
         """Victim selection through the allocator's incremental index when
         both sides support it; naive candidate scan otherwise."""
         index = getattr(self.allocator, "victim_index", None)
@@ -171,7 +172,7 @@ class GarbageCollector:
         self._victim = victim
         self._drain_page = 0
 
-    def _drain_step(self, now: float, budget: int, ops: list[OpRecord]) -> int:
+    def _drain_step(self, now: Ms, budget: int, ops: list[OpRecord]) -> int:
         """Relocate up to ``budget`` pages of the current victim.
 
         Returns the number of pages that actually cost a move; empty pages
@@ -226,7 +227,7 @@ class GarbageCollector:
             self._drain_page = 0
         return max(moved, 1)
 
-    def collect(self, victim: Block, now: float) -> list[OpRecord]:
+    def collect(self, victim: Block, now: Ms) -> list[OpRecord]:
         """Drain and erase one victim block in full (tests, wear paths)."""
         ops: list[OpRecord] = []
         self._begin(victim)
@@ -234,7 +235,7 @@ class GarbageCollector:
             self._drain_step(now, victim.pages + 1, ops)
         return ops
 
-    def collect_emergency(self, now: float) -> list[OpRecord]:
+    def collect_emergency(self, now: Ms) -> list[OpRecord]:
         """Force a full collection because an allocation is about to fail.
 
         Finishes any partially-drained victim, then collects one more full
@@ -261,7 +262,7 @@ class GarbageCollector:
         finally:
             self._collecting = False
 
-    def _level_wear(self, now: float) -> list[OpRecord]:
+    def _level_wear(self, now: Ms) -> list[OpRecord]:
         """Static wear levelling: recycle the least-worn resident block.
 
         Relocating the cold data (through the scheme's normal movement

@@ -30,6 +30,7 @@ from typing import Iterable
 import numpy as np
 
 from ..nand.block import Block
+from ..units import Ms
 
 
 def coldness_weight(t_ij: np.ndarray, t_mean: float) -> np.ndarray:
@@ -39,7 +40,7 @@ def coldness_weight(t_ij: np.ndarray, t_mean: float) -> np.ndarray:
     return 1.0 - np.exp(-np.asarray(t_ij, dtype=np.float64) / t_mean)
 
 
-def block_age_sum(block: Block, now: float) -> tuple[float, int]:
+def block_age_sum(block: Block, now: Ms) -> tuple[float, int]:
     """Sum of valid-subpage ages and their count (region-mean ingredient)."""
     if block.slot_time is None:
         raise ValueError("age accounting is defined for SLC-mode blocks only")
@@ -49,7 +50,7 @@ def block_age_sum(block: Block, now: float) -> tuple[float, int]:
     return float(block.n_valid * now - times.sum()), block.n_valid
 
 
-def region_mean_age(blocks: Iterable[Block], now: float) -> float:
+def region_mean_age(blocks: Iterable[Block], now: Ms) -> float:
     """Mean age of valid subpages across candidate blocks (the ``T``)."""
     total = 0.0
     count = 0
@@ -60,7 +61,7 @@ def region_mean_age(blocks: Iterable[Block], now: float) -> float:
     return total / count if count else 0.0
 
 
-def block_coldness(block: Block, now: float, t_mean: float | None = None) -> float:
+def block_coldness(block: Block, now: Ms, t_mean: float | None = None) -> float:
     """``IS'_i`` of Equation 2 for one SLC-mode block.
 
     The index set J contains the valid subpages of pages whose resident
@@ -91,6 +92,6 @@ def block_coldness(block: Block, now: float, t_mean: float | None = None) -> flo
     return float(coldness_weight(ages_cold, t_mean).sum())
 
 
-def block_isr(block: Block, now: float, t_mean: float | None = None) -> float:
+def block_isr(block: Block, now: Ms, t_mean: float | None = None) -> float:
     """``ISR_i`` of Equation 1."""
     return (block.n_invalid + block_coldness(block, now, t_mean)) / block.total_subpages

@@ -18,29 +18,30 @@ from __future__ import annotations
 
 from ..errors import MappingError
 from ..nand.geometry import PPA
+from ..units import Lpn, Lsn
 
 
 class PageMap:
     """Dynamic page-level mapping: LPN -> (block, page)."""
 
     def __init__(self):
-        self._map: dict[int, tuple[int, int]] = {}
+        self._map: dict[Lpn, tuple[int, int]] = {}
         # Bind the lookup straight to dict.get: the method body below is
         # documentation; the instance attribute skips one Python frame on
         # the hottest call in the FTL.
         self.lookup = self._map.get
 
-    def lookup(self, lpn: int) -> tuple[int, int] | None:
+    def lookup(self, lpn: Lpn) -> tuple[int, int] | None:
         """Physical page of ``lpn``, or None if unmapped."""
         return self._map.get(lpn)
 
-    def bind(self, lpn: int, block: int, page: int) -> None:
+    def bind(self, lpn: Lpn, block: int, page: int) -> None:
         """Map ``lpn`` to a physical page (replacing any previous binding)."""
         if lpn < 0:
             raise MappingError(f"negative LPN {lpn}")
         self._map[lpn] = (block, page)
 
-    def unbind(self, lpn: int) -> None:
+    def unbind(self, lpn: Lpn) -> None:
         """Drop the binding of ``lpn``."""
         if lpn not in self._map:
             raise MappingError(f"LPN {lpn} not mapped")
@@ -49,7 +50,7 @@ class PageMap:
     def __len__(self) -> int:
         return len(self._map)
 
-    def __contains__(self, lpn: int) -> bool:
+    def __contains__(self, lpn: Lpn) -> bool:
         return lpn in self._map
 
     def items(self):
@@ -61,21 +62,21 @@ class SubpageMap:
     """Subpage-level mapping: LSN -> :class:`PPA`."""
 
     def __init__(self):
-        self._map: dict[int, PPA] = {}
+        self._map: dict[Lsn, PPA] = {}
         # Same one-frame shortcut as PageMap.lookup.
         self.lookup = self._map.get
 
-    def lookup(self, lsn: int) -> PPA | None:
+    def lookup(self, lsn: Lsn) -> PPA | None:
         """Physical subpage of ``lsn``, or None if unmapped."""
         return self._map.get(lsn)
 
-    def bind(self, lsn: int, ppa: PPA) -> None:
+    def bind(self, lsn: Lsn, ppa: PPA) -> None:
         """Map ``lsn`` to a physical subpage."""
         if lsn < 0:
             raise MappingError(f"negative LSN {lsn}")
         self._map[lsn] = ppa
 
-    def unbind(self, lsn: int) -> None:
+    def unbind(self, lsn: Lsn) -> None:
         """Drop the binding of ``lsn``."""
         if lsn not in self._map:
             raise MappingError(f"LSN {lsn} not mapped")
@@ -84,7 +85,7 @@ class SubpageMap:
     def __len__(self) -> int:
         return len(self._map)
 
-    def __contains__(self, lsn: int) -> bool:
+    def __contains__(self, lsn: Lsn) -> bool:
         return lsn in self._map
 
     def items(self):

@@ -22,6 +22,7 @@ from ..sim.ops import Cause, OpRecord
 from .base import BaseFTL
 from .gc import GarbageCollector
 from .levels import BlockLevel
+from ..units import Lsn, Ms
 from .mapping import SubpageMap
 from .victim import GreedyVictimPolicy, VictimPolicy
 
@@ -60,7 +61,7 @@ class MGAFTL(BaseFTL):
 
     # -- mapping ---------------------------------------------------------
 
-    def translation_keys(self, lsns: list[int]) -> list[int]:
+    def translation_keys(self, lsns: list[Lsn]) -> list[int]:
         """MGA pages in second-level subpage entries on top of the
         first-level page map (the translation cost of its packing)."""
         from .base import SECOND_LEVEL_KEY_BASE
@@ -68,13 +69,13 @@ class MGAFTL(BaseFTL):
         keys.extend(SECOND_LEVEL_KEY_BASE + lsn for lsn in lsns)
         return keys
 
-    def lookup(self, lsn: int) -> PPA | None:
+    def lookup(self, lsn: Lsn) -> PPA | None:
         return self.subpage_map.lookup(lsn)
 
     def iter_bindings(self):
         yield from self.subpage_map.items()
 
-    def _invalidate_lsn(self, lsn: int) -> None:
+    def _invalidate_lsn(self, lsn: Lsn) -> None:
         ppa = self.subpage_map.lookup(lsn)
         if ppa is None:
             return
@@ -110,7 +111,7 @@ class MGAFTL(BaseFTL):
 
     # -- write path -----------------------------------------------------------
 
-    def write(self, lsns: list[int], now: float) -> list[OpRecord]:
+    def write(self, lsns: list[Lsn], now: Ms) -> list[OpRecord]:
         ops: list[OpRecord] = []
         lookup = self.subpage_map.lookup
         if any(lookup(lsn) is not None for lsn in lsns):
@@ -163,7 +164,7 @@ class MGAFTL(BaseFTL):
                 self._pack = (block.block_id, page)
         return ops
 
-    def _write_mlc_chunk(self, lsns: list[int], now: float) -> list[OpRecord]:
+    def _write_mlc_chunk(self, lsns: list[Lsn], now: Ms) -> list[OpRecord]:
         """Spill a host chunk straight to the high-density region."""
         ops: list[OpRecord] = []
         spp = self.geometry.subpages_per_page
@@ -185,7 +186,7 @@ class MGAFTL(BaseFTL):
     # -- GC movement -------------------------------------------------------------
 
     def _relocate_any(self, victim: Block, page: int, slots: list[int],
-                      lsns: list[int], now: float, cause: Cause) -> list[OpRecord]:
+                      lsns: list[Lsn], now: Ms, cause: Cause) -> list[OpRecord]:
         """Queue valid subpages for packed eviction to the MLC region."""
         for s in slots:
             self.flash.invalidate(victim.block_id, page, s)
@@ -200,7 +201,7 @@ class MGAFTL(BaseFTL):
     def _relocate_mlc_page(self, victim, page, slots, lsns, now, cause):
         return self._relocate_any(victim, page, slots, lsns, now, cause)
 
-    def _flush_evictions(self, now: float, cause: Cause) -> list[OpRecord]:
+    def _flush_evictions(self, now: Ms, cause: Cause) -> list[OpRecord]:
         """Program buffered evictions into fully-packed MLC pages."""
         ops: list[OpRecord] = []
         spp = self.geometry.subpages_per_page

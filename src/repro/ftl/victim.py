@@ -48,6 +48,7 @@ import numpy as np
 
 from ..nand.block import Block
 from .hotcold import block_age_sum, block_coldness
+from ..units import Ms
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (allocator imports us)
     from .allocator import VictimIndex
@@ -69,11 +70,11 @@ class VictimPolicy(Protocol):
     #: Deterministic count of candidate blocks examined over all scans.
     scanned_blocks: int
 
-    def select(self, candidates: list[Block], now: float) -> Block | None:
+    def select(self, candidates: list[Block], now: Ms) -> Block | None:
         """Return the victim, or None when no candidate is worth collecting."""
         ...  # pragma: no cover
 
-    def select_indexed(self, index: "VictimIndex", now: float) -> Block | None:
+    def select_indexed(self, index: "VictimIndex", now: Ms) -> Block | None:
         """Same selection served from the incremental victim index."""
         ...  # pragma: no cover
 
@@ -103,7 +104,7 @@ class GreedyVictimPolicy(_ScanAccounting):
     device state.
     """
 
-    def select(self, candidates: list[Block], now: float) -> Block | None:
+    def select(self, candidates: list[Block], now: Ms) -> Block | None:
         start = time.perf_counter()
         best: Block | None = None
         best_score = 0
@@ -118,7 +119,7 @@ class GreedyVictimPolicy(_ScanAccounting):
         self.scan_seconds += time.perf_counter() - start
         return best if best_score > 0 else None
 
-    def select_indexed(self, index: "VictimIndex", now: float) -> Block | None:
+    def select_indexed(self, index: "VictimIndex", now: Ms) -> Block | None:
         start = time.perf_counter()
         blocks = index.refresh()
         best: Block | None = None
@@ -145,7 +146,7 @@ class GreedyPageVictimPolicy(_ScanAccounting):
     iteration order.
     """
 
-    def select(self, candidates: list[Block], now: float) -> Block | None:
+    def select(self, candidates: list[Block], now: Ms) -> Block | None:
         start = time.perf_counter()
         best: Block | None = None
         best_score = 0
@@ -160,7 +161,7 @@ class GreedyPageVictimPolicy(_ScanAccounting):
         self.scan_seconds += time.perf_counter() - start
         return best if best_score > 0 else None
 
-    def select_indexed(self, index: "VictimIndex", now: float) -> Block | None:
+    def select_indexed(self, index: "VictimIndex", now: Ms) -> Block | None:
         start = time.perf_counter()
         blocks = index.refresh()
         best: Block | None = None
@@ -204,7 +205,7 @@ class IsrVictimPolicy(_ScanAccounting):
         #: block_id -> (content_epoch, computed_at, t_mean, coldness)
         self._cold_cache: dict[int, tuple[int, float, float, float]] = {}
 
-    def _age_sum(self, block: Block, now: float) -> tuple[float, int]:
+    def _age_sum(self, block: Block, now: Ms) -> tuple[float, int]:
         cached = self._age_cache.get(block.block_id)
         if (cached is not None and cached[0] == block.content_epoch
                 and now - cached[1] <= self.refresh_ms):
@@ -215,7 +216,7 @@ class IsrVictimPolicy(_ScanAccounting):
         self._age_cache[block.block_id] = (block.content_epoch, now, age_sum, count)
         return age_sum, count
 
-    def _coldness(self, block: Block, now: float, t_mean: float) -> float:
+    def _coldness(self, block: Block, now: Ms, t_mean: float) -> float:
         cached = self._cold_cache.get(block.block_id)
         if (cached is not None and cached[0] == block.content_epoch
                 and now - cached[1] <= self.refresh_ms
@@ -225,7 +226,7 @@ class IsrVictimPolicy(_ScanAccounting):
         self._cold_cache[block.block_id] = (block.content_epoch, now, t_mean, value)
         return value
 
-    def select(self, candidates: list[Block], now: float) -> Block | None:
+    def select(self, candidates: list[Block], now: Ms) -> Block | None:
         start = time.perf_counter()
         total_age = 0.0
         total_count = 0
@@ -250,7 +251,7 @@ class IsrVictimPolicy(_ScanAccounting):
         self.scan_seconds += time.perf_counter() - start
         return best if best_score > 0.0 else None
 
-    def select_indexed(self, index: "VictimIndex", now: float) -> Block | None:
+    def select_indexed(self, index: "VictimIndex", now: Ms) -> Block | None:
         # The index supplies the candidate set without an O(region) state
         # scan; the ISR accumulation itself must stay the sequential
         # scalar loop (identical float-summation order) and already runs

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+from ..units import Ms
 
 
 def percentile_summary(latencies_ms: np.ndarray) -> dict[str, float]:
@@ -21,7 +22,7 @@ def percentile_summary(latencies_ms: np.ndarray) -> dict[str, float]:
 
 def latency_distribution(
     latencies_ms: np.ndarray,
-    edges_ms: "list[float] | None" = None,
+    edges_ms: "list[Ms] | None" = None,
 ) -> dict[str, float]:
     """Share of requests in each latency band.
 
@@ -41,7 +42,7 @@ def latency_distribution(
     return dict(zip(_band_labels(edges_ms), shares.tolist()))
 
 
-def _band_labels(edges_ms: list[float]) -> list[str]:
+def _band_labels(edges_ms: list[Ms]) -> list[str]:
     labels = [f"<{edges_ms[0]}ms"]
     labels += [f"{lo}-{hi}ms" for lo, hi in zip(edges_ms[:-1], edges_ms[1:])]
     labels.append(f">={edges_ms[-1]}ms")

@@ -28,6 +28,7 @@ from ..errors import (
     SubpageStateError,
 )
 from .cell import CellMode
+from ..units import Lsn, Ms, PeCycles
 
 #: Sentinel stored in ``slot_lsn`` for a slot that never held data.
 NO_LSN: int = -1
@@ -69,12 +70,12 @@ class Block:
         self.is_slc = mode.is_slc
         self.pages = pages
         self.spp = subpages_per_page
-        self.erase_count = 0
+        self.erase_count: PeCycles = 0
         self.next_page = 0
         self.state = BlockState.FREE
         #: Block-level label (see :mod:`repro.core.levels`); ``None`` when free.
         self.level: int | None = None
-        self.alloc_time = 0.0
+        self.alloc_time: Ms = 0.0
 
         self.programmed = np.zeros((pages, subpages_per_page), dtype=bool)
         self.valid = np.zeros((pages, subpages_per_page), dtype=bool)
@@ -166,7 +167,7 @@ class Block:
 
     # -- mutation -------------------------------------------------------
 
-    def program(self, page: int, slots: list[int], lsns: list[int], now: float,
+    def program(self, page: int, slots: list[int], lsns: list[Lsn], now: Ms,
                 max_programs: int) -> bool:
         """Program ``lsns`` into ``slots`` of ``page``; return True if the
         pass was a *partial* program of an already-programmed page.
@@ -307,7 +308,7 @@ class Block:
             if index is not None:
                 index.note_change(self.block_id)
 
-    def touch(self, page: int, slots: list[int], now: float) -> None:
+    def touch(self, page: int, slots: list[int], now: Ms) -> None:
         """Refresh the last-access time of subpages (reads count as access
         for the coldness estimate of Equation 2)."""
         if self.slot_time is not None:
@@ -408,7 +409,7 @@ class Block:
         if counters is not None:
             counters.note_retire()
 
-    def open_as(self, level: int, now: float) -> None:
+    def open_as(self, level: int, now: Ms) -> None:
         """Transition a free block to OPEN with a block-level label."""
         if self.state is not BlockState.FREE:
             raise SubpageStateError(

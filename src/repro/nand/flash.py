@@ -12,7 +12,7 @@ to move data are FTL decisions (:mod:`repro.ftl`, :mod:`repro.core`).
 
 from __future__ import annotations
 
-from typing import Iterable, NamedTuple
+from typing import TYPE_CHECKING, Iterable, NamedTuple
 
 import numpy as np
 
@@ -22,6 +22,10 @@ from ..errors import FlashError
 from .block import Block, BlockState
 from .cell import CellMode
 from .geometry import Geometry
+from ..units import Lsn, Ms
+
+if TYPE_CHECKING:
+    from ..faults.plan import FaultPlan
 
 
 class ProgramResult(NamedTuple):
@@ -118,7 +122,7 @@ class FlashArray:
         #: program-failure condemnation retires the block instead of
         #: returning it to service.  ``None`` (the default) keeps the
         #: erase path bit-identical to a device without fault injection.
-        self.faults = None
+        self.faults: "FaultPlan | None" = None
 
     # -- queries ----------------------------------------------------------
 
@@ -137,7 +141,7 @@ class FlashArray:
         return [self.blocks[i] for i in ids]
 
     def subpage_rbers(self, block_id: int, page: int, slots: Iterable[int],
-                      now: float | None = None) -> np.ndarray:
+                      now: Ms | None = None) -> np.ndarray:
         """Current RBER of the given subpages (no access-time side effect).
 
         ``now`` enables the optional retention-loss term (data ages since
@@ -189,8 +193,8 @@ class FlashArray:
         block_id: int,
         page: int,
         slots: list[int],
-        lsns: list[int],
-        now: float,
+        lsns: list[Lsn],
+        now: Ms,
     ) -> ProgramResult:
         """Program subpages; applies disturb when the pass is partial."""
         block = self.blocks[block_id]
@@ -221,7 +225,7 @@ class FlashArray:
             self.programs_mlc += 1
         return ProgramResult(partial=True, disturbed_valid=disturbed)
 
-    def read(self, block_id: int, page: int, slots: list[int], now: float) -> np.ndarray:
+    def read(self, block_id: int, page: int, slots: list[int], now: Ms) -> np.ndarray:
         """Read subpages: returns their RBERs and refreshes access times."""
         block = self.blocks[block_id]
         if block.page_programmed[page] != block.spp:

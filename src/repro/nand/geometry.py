@@ -18,6 +18,7 @@ from typing import NamedTuple
 
 from ..config import GeometryConfig
 from ..errors import ConfigError
+from ..units import Bytes, Lpn, Lsn
 
 
 class PPA(NamedTuple):
@@ -69,20 +70,20 @@ class Geometry:
 
     # -- logical space -------------------------------------------------
 
-    def lpn_of_lsn(self, lsn: int) -> int:
+    def lpn_of_lsn(self, lsn: Lsn) -> Lpn:
         """Logical page containing logical subpage ``lsn``."""
         if lsn < 0:
             raise ConfigError(f"negative LSN {lsn}")
         return lsn // self.subpages_per_page
 
-    def lsn_range_of_lpn(self, lpn: int) -> range:
+    def lsn_range_of_lpn(self, lpn: Lpn) -> range:
         """Logical subpages forming logical page ``lpn``."""
         if lpn < 0:
             raise ConfigError(f"negative LPN {lpn}")
         start = lpn * self.subpages_per_page
         return range(start, start + self.subpages_per_page)
 
-    def byte_range_to_lsns(self, offset: int, length: int) -> range:
+    def byte_range_to_lsns(self, offset: Bytes, length: Bytes) -> range:
         """Logical subpages overlapped by the byte extent ``[offset, offset+length)``."""
         if offset < 0 or length <= 0:
             raise ConfigError(f"invalid byte extent offset={offset} length={length}")

@@ -10,6 +10,7 @@ module decides *when* to level and *which* block to relocate.
 from __future__ import annotations
 
 from ..config import CacheConfig
+from ..units import PeCycles
 from .block import Block, BlockState
 
 
@@ -28,17 +29,17 @@ class WearTracker:
         self.erases_since_check += 1
 
     @property
-    def min_erase(self) -> int:
+    def min_erase(self) -> PeCycles:
         """Smallest per-block erase count in the region."""
         return min(b.erase_count for b in self.blocks)
 
     @property
-    def max_erase(self) -> int:
+    def max_erase(self) -> PeCycles:
         """Largest per-block erase count in the region."""
         return max(b.erase_count for b in self.blocks)
 
     @property
-    def spread(self) -> int:
+    def spread(self) -> PeCycles:
         """Erase-count gap between the most and least worn block."""
         return self.max_erase - self.min_erase
 

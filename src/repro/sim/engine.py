@@ -17,13 +17,14 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..errors import SimulationError
+from ..units import Ms
 
 
 @dataclass(order=True, frozen=True)
 class Event:
     """A scheduled callback (the public face of a heap entry)."""
 
-    time: float
+    time: Ms
     priority: int
     seq: int
     handler: Callable[[], None] = field(compare=False)
@@ -43,16 +44,16 @@ class Engine:
     def __init__(self):
         self._heap: list[tuple[float, int, int, Callable[[], None]]] = []
         self._seq = itertools.count()
-        self._now = 0.0
+        self._now: Ms = 0.0
         self._running = False
         self.processed = 0
 
     @property
-    def now(self) -> float:
+    def now(self) -> Ms:
         """Current simulation time in milliseconds."""
         return self._now
 
-    def schedule(self, time: float, handler: Callable[[], None], priority: int = 0) -> Event:
+    def schedule(self, time: Ms, handler: Callable[[], None], priority: int = 0) -> Event:
         """Schedule ``handler`` to run at ``time``.
 
         ``priority`` breaks ties at equal times (lower runs first);
@@ -65,7 +66,7 @@ class Engine:
         heapq.heappush(self._heap, (time, priority, event.seq, handler))
         return event
 
-    def schedule_after(self, delay: float, handler: Callable[[], None],
+    def schedule_after(self, delay: Ms, handler: Callable[[], None],
                        priority: int = 0) -> Event:
         """Schedule ``handler`` to run ``delay`` ms from now."""
         if delay < 0:
@@ -82,7 +83,7 @@ class Engine:
         self.processed += 1
         return True
 
-    def run(self, until: float | None = None) -> None:
+    def run(self, until: Ms | None = None) -> None:
         """Run events until the queue drains (or past ``until``)."""
         if self._running:
             raise SimulationError("engine re-entered while running")

@@ -12,6 +12,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..units import Ms
+
 
 class OpKind(enum.Enum):
     """Physical operation type."""
@@ -54,7 +56,7 @@ class OpRecord:
     #: partial programs transfer only what they touch.  0 means n_slots.
     transfer_slots: int = 0
     #: ECC decode time for reads (already derived from the subpages' RBER).
-    ecc_ms: float = 0.0
+    ecc_ms: Ms = 0.0
     #: Expected raw bit errors of the read (drives the error-rate metric).
     raw_errors: float = 0.0
 

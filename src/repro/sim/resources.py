@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from ..errors import SimulationError
 from ..nand.geometry import Geometry
+from ..units import Ms
 
 
 class Resource:
@@ -21,11 +22,11 @@ class Resource:
 
     def __init__(self, name: str):
         self.name = name
-        self.next_free = 0.0
-        self.busy_ms = 0.0
+        self.next_free: Ms = 0.0
+        self.busy_ms: Ms = 0.0
         self.operations = 0
 
-    def acquire(self, earliest: float, duration: float) -> tuple[float, float]:
+    def acquire(self, earliest: Ms, duration: Ms) -> tuple[Ms, Ms]:
         """Reserve the server; returns ``(start, end)``."""
         if duration < 0:
             raise SimulationError(f"{self.name}: negative duration {duration}")
@@ -38,7 +39,7 @@ class Resource:
         self.operations += 1
         return start, end
 
-    def utilization(self, horizon_ms: float) -> float:
+    def utilization(self, horizon_ms: Ms) -> float:
         """Busy fraction over ``[0, horizon_ms]``."""
         if horizon_ms <= 0:
             return 0.0
@@ -67,8 +68,8 @@ class ResourceSet:
         """Channel server hosting ``block_id``."""
         return self._pair[block_id][1]
 
-    def acquire_for_block(self, block_id: int, earliest: float,
-                          duration: float) -> tuple[float, float]:
+    def acquire_for_block(self, block_id: int, earliest: Ms,
+                          duration: Ms) -> tuple[Ms, Ms]:
         """Reserve chip and channel together for one flash operation.
 
         The op starts when both servers are free and occupies both for the
@@ -86,9 +87,9 @@ class ResourceSet:
         channel.operations += 1
         return start, end
 
-    def acquire_pipelined(self, block_id: int, earliest: float,
-                          chip_ms: float, channel_ms: float,
-                          chip_first: bool) -> tuple[float, float]:
+    def acquire_pipelined(self, block_id: int, earliest: Ms,
+                          chip_ms: Ms, channel_ms: Ms,
+                          chip_first: bool) -> tuple[Ms, Ms]:
         """Two-stage reservation: media occupies only the chip, transfer
         only the channel.
 
@@ -109,7 +110,7 @@ class ResourceSet:
         _, end = second.acquire(mid, second_ms)
         return start, end
 
-    def horizon(self) -> float:
+    def horizon(self) -> Ms:
         """Latest busy-until time across all servers."""
         latest_chip = max((c.next_free for c in self.chips), default=0.0)
         latest_chan = max((c.next_free for c in self.channels), default=0.0)

@@ -20,6 +20,7 @@ import numpy as np
 from ..config import SSDConfig
 from ..errors import SimulationError
 from ..traces.model import Trace
+from ..units import Ms
 from .engine import Engine
 from .ops import Cause, OpKind
 from .resources import ResourceSet
@@ -39,7 +40,7 @@ class SimulationResult:
     scheme: str
     trace_name: str
     n_requests: int
-    sim_time_ms: float
+    sim_time_ms: Ms
     wall_seconds: float
 
     #: Per-request response times (ms), split by direction.
@@ -101,12 +102,12 @@ class SimulationResult:
     power_loss_events: int = 0
     torn_subpages: int = 0
     recovered_subpages: int = 0
-    recovery_ms: float = 0.0
+    recovery_ms: Ms = 0.0
 
     # -- headline metrics -------------------------------------------------
 
     @property
-    def avg_latency_ms(self) -> float:
+    def avg_latency_ms(self) -> Ms:
         """Mean response time over all requests (Figure 5's headline)."""
         total = len(self.read_latencies) + len(self.write_latencies)
         if total == 0:
@@ -114,12 +115,12 @@ class SimulationResult:
         return float(self.read_latencies.sum() + self.write_latencies.sum()) / total
 
     @property
-    def avg_read_latency_ms(self) -> float:
+    def avg_read_latency_ms(self) -> Ms:
         """Mean read response time."""
         return float(self.read_latencies.mean()) if len(self.read_latencies) else 0.0
 
     @property
-    def avg_write_latency_ms(self) -> float:
+    def avg_write_latency_ms(self) -> Ms:
         """Mean write response time."""
         return float(self.write_latencies.mean()) if len(self.write_latencies) else 0.0
 
@@ -227,7 +228,7 @@ class Simulator:
 
     def __init__(self, ftl, config: SSDConfig | None = None,
                  observer=None, idle_gc: bool = False,
-                 idle_threshold_ms: float = 2.0):
+                 idle_threshold_ms: Ms = 2.0):
         self.ftl = ftl
         self.config = config if config is not None else ftl.config
         #: Optional callable ``(request_index, now_ms)`` invoked after each

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..config import SSDConfig
 from ..error import EccModel, RberModel
+from ..units import Ms
 from .ops import OpKind, OpRecord
 
 
@@ -39,7 +40,7 @@ class TimingModel:
         self._read = {True: t.slc_read_ms, False: t.mlc_read_ms}
         self._write = {True: t.slc_write_ms, False: t.mlc_write_ms}
 
-    def duration_ms(self, op: OpRecord) -> float:
+    def duration_ms(self, op: OpRecord) -> Ms:
         """Service time of one operation on its chip/channel pair."""
         kind = op.kind
         if kind is OpKind.ERASE:
@@ -90,7 +91,7 @@ class TimingModel:
         out[is_erase] = self._erase_ms
         return out
 
-    def pseudo_read_ecc_ms(self) -> float:
+    def pseudo_read_ecc_ms(self) -> Ms:
         """ECC decode time for never-written (pre-existing MLC) data."""
         base = self.rber.base(self.config.reliability.initial_pe_cycles, slc=False)
         return self.ecc.decode_ms(base)

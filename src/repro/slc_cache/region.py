@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from ..ftl.levels import SLC_LEVELS, BlockLevel
 from ..nand.block import BlockState
+from ..units import Bytes
 
 
 @dataclass(frozen=True)
@@ -20,7 +21,7 @@ class LevelStats:
     updated_pages: int
 
     @property
-    def valid_bytes(self) -> int:
+    def valid_bytes(self) -> Bytes:
         """Live bytes resident at this level (4 KiB subpages)."""
         return self.valid_subpages * 4096
 

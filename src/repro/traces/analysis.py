@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .model import Trace
+from ..units import Ms
 
 
 @dataclass(frozen=True)
@@ -108,7 +109,7 @@ def interarrival_stats(trace: Trace) -> dict[str, float]:
     }
 
 
-def update_interval_ms(trace: Trace) -> float:
+def update_interval_ms(trace: Trace) -> Ms:
     """Mean wall-clock time between successive writes of an address.
 
     This is the quantity the SLC cache's residency time must exceed for

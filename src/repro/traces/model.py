@@ -15,6 +15,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from ..errors import TraceError
+from ..units import Bytes, Ms
 
 
 class OpType(enum.Enum):
@@ -28,7 +29,7 @@ class OpType(enum.Enum):
 class TraceRequest:
     """One block I/O request."""
 
-    time_ms: float
+    time_ms: Ms
     op: OpType
     offset: int   #: byte offset into the logical address space
     size: int     #: length in bytes
@@ -110,7 +111,7 @@ class Trace:
         return self.n_writes / len(self) if len(self) else 0.0
 
     @property
-    def footprint_bytes(self) -> int:
+    def footprint_bytes(self) -> Bytes:
         """Span of the touched byte range (upper bound on unique data)."""
         if not len(self):
             return 0

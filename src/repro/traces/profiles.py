@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import TraceError
-from ..units import KIB
+from ..units import KIB, Bytes
 
 
 @dataclass(frozen=True)
@@ -35,7 +35,7 @@ class TraceProfile:
     #: Fraction of requests that are writes.
     write_ratio: float
     #: Mean write request size in bytes.
-    mean_write_bytes: int
+    mean_write_bytes: Bytes
     #: Fraction of distinct addresses requested at least 4 times ("Hot write").
     hot_write_ratio: float
     #: Update-request size distribution over (<=4K, 4-8K, >8K] (Table 1).

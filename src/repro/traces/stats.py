@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
-from ..units import KIB
+from ..units import KIB, Bytes
 from .model import Trace
 
 #: Table 1 bucket upper bounds in bytes (last bucket is open-ended).
@@ -55,7 +55,7 @@ class TraceStats:
         }
 
 
-def update_size_buckets(sizes_bytes: "list[int]") -> tuple[float, float, float]:
+def update_size_buckets(sizes_bytes: "list[Bytes]") -> tuple[float, float, float]:
     """Fraction of update sizes in each Table 1 bucket."""
     if not sizes_bytes:
         return (0.0, 0.0, 0.0)

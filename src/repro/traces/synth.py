@@ -30,7 +30,7 @@ import numpy as np
 
 from ..errors import TraceError
 from ..rng import make_rng
-from ..units import KIB
+from ..units import KIB, Bytes, Ms
 from .model import Trace
 from .profiles import TraceProfile
 
@@ -74,11 +74,11 @@ class ExtentTable:
         return len(self.starts)
 
     @property
-    def footprint_bytes(self) -> int:
+    def footprint_bytes(self) -> Bytes:
         """Unique bytes ever written."""
         return int(self.sizes.sum())
 
-    def page_footprint_bytes(self, page_size: int = 16 * KIB) -> int:
+    def page_footprint_bytes(self, page_size: Bytes = 16 * KIB) -> Bytes:
         """Bytes of whole physical pages the extents pin down.
 
         Schemes that place one extent chunk per page without merging
@@ -98,7 +98,7 @@ class SyntheticTraceGenerator:
         self,
         profile: TraceProfile,
         n_requests: int | None = None,
-        mean_interarrival_ms: float = 0.25,
+        mean_interarrival_ms: Ms = 0.25,
         seed: int | None = None,
     ):
         profile.validate()
@@ -427,7 +427,7 @@ def generate(
     profile: TraceProfile,
     n_requests: int | None = None,
     seed: int | None = None,
-    mean_interarrival_ms: float = 0.25,
+    mean_interarrival_ms: Ms = 0.25,
 ) -> Trace:
     """Convenience wrapper: build a generator and produce the trace."""
     return SyntheticTraceGenerator(

@@ -1,4 +1,4 @@
-"""Size and time unit helpers.
+"""Size and time unit helpers, and the checked unit vocabulary.
 
 Conventions used across the library:
 
@@ -6,10 +6,57 @@ Conventions used across the library:
 * **times and latencies** are floats in **milliseconds** (the unit used by
   Table 2 of the paper),
 * logical space is addressed in 4 KiB *subpages* (LSN) grouped into 16 KiB
-  *logical pages* (LPN).
+  *logical pages* (LPN); physical space is PPN/slot coordinates.
+
+The ``Annotated`` aliases below (:data:`Ms`, :data:`Bytes`, :data:`Lsn`,
+…) turn those conventions into *checked interfaces*: annotate a public
+signature with them and ``repro-ssd lint``'s interprocedural unit checker
+(rules U001–U003, see ``docs/STATIC_ANALYSIS.md``) propagates the
+dimension through assignments, arithmetic and call edges, flagging mixed
+arithmetic, address-space confusion and missed scale conversions.  At
+runtime the aliases are their underlying ``int``/``float`` — annotating
+costs nothing.
 """
 
 from __future__ import annotations
+
+from typing import Annotated, TypeAlias
+
+
+class Unit:
+    """Dimension marker carried inside the ``Annotated`` unit aliases.
+
+    The static analyzer matches the *alias names* (``Ms``, ``Lsn``, …)
+    in source; the marker exists so the dimension also survives to
+    runtime introspection (``typing.get_type_hints(..., include_extras=True)``).
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Unit({self.name!r})"
+
+
+#: Modelled latency / simulated clock value in milliseconds (Table 2).
+Ms: TypeAlias = Annotated[float, Unit("ms")]
+#: Size in bytes (the only integer size unit used in interfaces).
+Bytes: TypeAlias = Annotated[int, Unit("bytes")]
+#: Size expressed in KiB — multiply by :data:`KIB` before it meets a
+#: :data:`Bytes` interface.
+Kib: TypeAlias = Annotated[float, Unit("kib")]
+#: Logical subpage number (4 KiB granularity).
+Lsn: TypeAlias = Annotated[int, Unit("lsn")]
+#: Logical page number (16 KiB granularity): ``lpn = lsn // subpages_per_page``.
+Lpn: TypeAlias = Annotated[int, Unit("lpn")]
+#: Physical page coordinate (flat physical page index / page-in-block).
+Ppn: TypeAlias = Annotated[int, Unit("ppn")]
+#: Count of 4 KiB subpages (capacities, transfer sizes in subpage units).
+SubpageCount: TypeAlias = Annotated[int, Unit("subpages")]
+#: Program/erase cycle count (wear).
+PeCycles: TypeAlias = Annotated[int, Unit("pe")]
 
 KIB: int = 1024
 MIB: int = 1024 * KIB
@@ -21,27 +68,27 @@ US: float = 1e-3
 SEC: float = 1e3
 
 
-def kib(n: float) -> int:
+def kib(n: float) -> Bytes:
     """Return ``n`` KiB expressed in bytes."""
     return int(n * KIB)
 
 
-def mib(n: float) -> int:
+def mib(n: float) -> Bytes:
     """Return ``n`` MiB expressed in bytes."""
     return int(n * MIB)
 
 
-def gib(n: float) -> int:
+def gib(n: float) -> Bytes:
     """Return ``n`` GiB expressed in bytes."""
     return int(n * GIB)
 
 
-def bytes_to_kib(n: int) -> float:
+def bytes_to_kib(n: Bytes) -> Kib:
     """Return ``n`` bytes expressed in KiB."""
     return n / KIB
 
 
-def bytes_to_mib(n: int) -> float:
+def bytes_to_mib(n: Bytes) -> float:
     """Return ``n`` bytes expressed in MiB."""
     return n / MIB
 
@@ -72,12 +119,12 @@ def ms_to_us(t_ms: float) -> float:
     return t_ms * 1e3
 
 
-def us_to_ms(t_us: float) -> float:
+def us_to_ms(t_us: float) -> Ms:
     """Convert microseconds to milliseconds."""
     return t_us * 1e-3
 
 
-def fmt_bytes(n: int) -> str:
+def fmt_bytes(n: Bytes) -> str:
     """Human-readable byte count (binary units)."""
     value = float(n)
     for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
@@ -89,7 +136,7 @@ def fmt_bytes(n: int) -> str:
     raise AssertionError("unreachable")
 
 
-def fmt_ms(t_ms: float) -> str:
+def fmt_ms(t_ms: Ms) -> str:
     """Human-readable latency: microseconds below 1 ms, otherwise ms."""
     if t_ms < 1.0:
         return f"{t_ms * 1e3:.2f}us"

@@ -45,7 +45,7 @@ def test_lint_json_format_on_committed_tree(monkeypatch, capsys):
     assert payload["ok"] is True
     assert payload["new"] == 0
     assert payload["rules_run"] == ["D001", "D002", "D003", "S001", "S002",
-                                    "C001"]
+                                    "C001", "U001", "U002", "U003"]
     assert payload["files_checked"] > 50
 
 
@@ -68,7 +68,7 @@ def test_lint_json_reports_seeded_violation(tmp_path, capsys):
 
 
 @pytest.mark.parametrize("rule", ["D001", "D002", "D003", "S001", "S002",
-                                  "C001"])
+                                  "C001", "U001", "U002", "U003"])
 def test_every_rule_listed(rule, capsys):
     assert main(["lint", "--list-rules"]) == 0
     assert rule in capsys.readouterr().out
@@ -139,3 +139,72 @@ def test_committed_baseline_is_empty():
     for entry in data["entries"]:
         assert entry.get("note"), f"undocumented baseline entry: {entry}"
     assert len(data["entries"]) == 0
+
+
+# --------------------------------------------------------------------------
+# baseline / ratchet workflow with U-rules (interprocedural findings)
+
+U_BAD_SNIPPET = """
+    def cost(delay_ms, size_bytes):
+        return delay_ms + size_bytes
+    """
+
+
+def test_u_rule_baseline_round_trip(tmp_path, capsys):
+    bad = seed_violation(tmp_path, U_BAD_SNIPPET)
+    root = str(tmp_path)
+
+    capsys.readouterr()
+    assert main(["lint", "--root", root]) == 1
+    assert "U001" in capsys.readouterr().out
+    # Grandfather the interprocedural finding, then go green.
+    assert main(["lint", "--root", root, "--update-baseline"]) == 0
+    baseline = tmp_path / "LINT_BASELINE.json"
+    entries = json.loads(baseline.read_text())["entries"]
+    assert [e["rule"] for e in entries] == ["U001"]
+    assert main(["lint", "--root", root]) == 0
+
+
+def test_u_rule_fingerprint_survives_line_drift(tmp_path):
+    bad = seed_violation(tmp_path, U_BAD_SNIPPET)
+    root = str(tmp_path)
+    assert main(["lint", "--root", root, "--update-baseline"]) == 0
+    # Project-rule findings use the same text-keyed fingerprints as
+    # per-file ones: unrelated edits above must not orphan the entry.
+    bad.write_text("# leading comment\n# another\n" + bad.read_text(),
+                   encoding="utf-8")
+    assert main(["lint", "--root", root]) == 0
+
+
+def test_u_rule_stale_entry_fails_ratchet(tmp_path, capsys):
+    bad = seed_violation(tmp_path, U_BAD_SNIPPET)
+    root = str(tmp_path)
+    assert main(["lint", "--root", root, "--update-baseline"]) == 0
+    # Fix the unit mix: the baselined entry goes stale and the ratchet
+    # demands the baseline shrink.
+    bad.write_text("def cost(delay_ms, other_ms):\n"
+                   "    return delay_ms + other_ms\n", encoding="utf-8")
+    capsys.readouterr()
+    assert main(["lint", "--root", root]) == 1
+    assert "stale" in capsys.readouterr().out
+    assert main(["lint", "--root", root, "--update-baseline"]) == 0
+    assert json.loads(
+        (tmp_path / "LINT_BASELINE.json").read_text())["entries"] == []
+
+
+def test_cli_select_family_prefix(tmp_path, capsys):
+    seed_violation(tmp_path, U_BAD_SNIPPET)
+    root = str(tmp_path)
+    capsys.readouterr()
+    assert main(["lint", "--root", root, "--select", "U",
+                 "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["rules_run"] == ["U001", "U002", "U003"]
+    # The D-family alone does not see the unit mix.
+    assert main(["lint", "--root", root, "--select", "D"]) == 0
+
+
+def test_cli_select_unknown_prefix_exits_2(tmp_path, capsys):
+    seed_violation(tmp_path, U_BAD_SNIPPET)
+    assert main(["lint", "--root", str(tmp_path), "--select", "Q"]) == 2
+    assert "unknown rule" in capsys.readouterr().out

@@ -390,3 +390,244 @@ def test_violations_carry_stable_fingerprints(tmp_path):
     assert [v.fingerprint for v in first.violations] == \
         [v.fingerprint for v in second.violations]
     assert first.violations[0].line != second.violations[0].line
+
+
+# --------------------------------------------------------------------------
+# U001 — mixed-unit arithmetic
+
+
+def test_u001_flags_ms_plus_bytes(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "sim/mod.py", """
+        def cost(delay_ms, size_bytes):
+            return delay_ms + size_bytes
+        """, select=["U"])
+    assert "U001" in rules
+
+
+def test_u001_flags_ms_compared_to_bytes(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "sim/mod.py", """
+        def throttle(delay_ms, size_bytes):
+            return delay_ms > size_bytes
+        """, select=["U"])
+    assert "U001" in rules
+
+
+def test_u001_flags_ms_times_ms(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "sim/mod.py", """
+        def wrong(read_ms, write_ms):
+            return read_ms * write_ms
+        """, select=["U"])
+    assert "U001" in rules
+
+
+def test_u001_good_same_unit_and_counts(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "sim/mod.py", """
+        def total(read_ms, write_ms, n_requests):
+            per_req = read_ms + write_ms
+            return per_req * n_requests
+        """, select=["U"])
+    assert rules == []
+
+
+def test_u001_vocab_annotation_beats_name_convention(tmp_path):
+    # The *annotation* says Ms, despite the byte-ish parameter name: the
+    # addition is ms + ms, and must stay silent.
+    rules, _ = lint_snippet(tmp_path, "sim/mod.py", """
+        def total(transfer_bytes: Ms, decode_ms: Ms):
+            return transfer_bytes + decode_ms
+        """, select=["U"])
+    assert rules == []
+
+
+# --------------------------------------------------------------------------
+# U002 — address-space confusion
+
+
+def test_u002_flags_lsn_passed_to_lpn_param(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "ftl/map.py", """
+        def lookup(lpn: Lpn):
+            return lpn
+
+        def read(lsn: Lsn):
+            return lookup(lsn)
+        """, select=["U"])
+    assert "U002" in rules
+
+
+def test_u002_good_converted_before_call(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "ftl/map.py", """
+        def lookup(lpn: Lpn):
+            return lpn
+
+        def lpn_of(lsn: Lsn) -> Lpn:
+            return lsn // 4
+
+        def read(lsn: Lsn):
+            return lookup(lpn_of(lsn))
+        """, select=["U"])
+    assert rules == []
+
+
+def test_u002_flags_wrong_mapping_subscript(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "ftl/map.py", """
+        def read(pages_by_lpn, lsn):
+            return pages_by_lpn[lsn]
+        """, select=["U"])
+    assert "U002" in rules
+
+
+def test_u002_good_matching_subscript(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "ftl/map.py", """
+        def read(pages_by_lpn, lpn):
+            return pages_by_lpn[lpn]
+        """, select=["U"])
+    assert rules == []
+
+
+def test_u002_flags_membership_in_wrong_domain(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "ftl/map.py", """
+        def cached(dirty_by_lpn, lsn):
+            return lsn in dirty_by_lpn
+        """, select=["U"])
+    assert "U002" in rules
+
+
+# --------------------------------------------------------------------------
+# U003 — lossy/unconverted boundary crossings
+
+
+def test_u003_flags_kib_plus_bytes(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "nand/mod.py", """
+        def capacity(size_kib, spare_bytes):
+            return size_kib + spare_bytes
+        """, select=["U"])
+    assert "U003" in rules
+
+
+def test_u003_flags_double_byte_scaling(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "nand/mod.py", """
+        from repro.units import KIB
+
+        def grow(size_bytes):
+            return size_bytes * KIB
+        """, select=["U"])
+    assert "U003" in rules
+
+
+def test_u003_flags_us_factor_on_ms(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "sim/mod.py", """
+        from repro.units import US
+
+        def convert(delay_ms):
+            return delay_ms * US
+        """, select=["U"])
+    assert "U003" in rules
+
+
+def test_u003_good_scaled_before_mixing(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "nand/mod.py", """
+        from repro.units import KIB, US
+
+        def capacity(size_kib, spare_bytes):
+            return size_kib * KIB + spare_bytes
+
+        def total(delay_us, decode_ms):
+            return delay_us * US + decode_ms
+        """, select=["U"])
+    assert rules == []
+
+
+def test_u003_flags_raw_kib_passed_to_bytes_param(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "nand/mod.py", """
+        def alloc(n: Bytes):
+            return n
+
+        def grow(size_kib):
+            return alloc(size_kib)
+        """, select=["U"])
+    assert "U003" in rules
+
+
+# --------------------------------------------------------------------------
+# U-family — interprocedural propagation and engine plumbing
+
+
+def test_unit_fact_propagates_across_call_edge(tmp_path):
+    # ``base_cost`` has no annotation and no name convention: its ms
+    # return unit exists only because the fixpoint inferred it from the
+    # body.  The call site then mixes that inferred ms with bytes.
+    rules, _ = lint_snippet(tmp_path, "sim/mod.py", """
+        def base_cost(t_ms):
+            return t_ms + 0.1
+
+        def total(size_bytes):
+            return base_cost(0.2) + size_bytes
+        """, select=["U"])
+    assert "U001" in rules
+
+
+def test_unit_fact_propagates_across_modules(tmp_path):
+    # The ms fact crosses a file boundary through the import graph.
+    geom = tmp_path / "sim" / "timing.py"
+    geom.parent.mkdir(parents=True, exist_ok=True)
+    geom.write_text(textwrap.dedent("""
+        def decode_cost(rber) -> Ms:
+            return 0.1
+        """), encoding="utf-8")
+    rules, _ = lint_snippet(tmp_path, "ftl/read.py", """
+        from sim.timing import decode_cost
+
+        def total(size_bytes):
+            return decode_cost(0.01) + size_bytes
+        """, select=["U"])
+    assert "U001" in rules
+
+
+def test_u_rules_are_conservative_on_unknowns(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "sim/mod.py", """
+        def mix(a, b, count):
+            return a + b * count
+        """, select=["U"])
+    assert rules == []
+
+
+def test_u_rule_line_suppression(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "sim/mod.py", """
+        def cost(delay_ms, size_bytes):
+            return delay_ms + size_bytes  # repro-lint: disable=U001
+        """, select=["U"])
+    assert rules == []
+
+
+def test_u_rule_file_suppression(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "sim/mod.py", """
+        # repro-lint: disable-file=U001
+        def cost(delay_ms, size_bytes):
+            return delay_ms + size_bytes
+        """, select=["U"])
+    assert rules == []
+
+
+# --------------------------------------------------------------------------
+# --select rule-family prefixes
+
+
+def test_select_family_prefix_expands(tmp_path):
+    _, result = lint_snippet(tmp_path, "ftl/x.py", "x = 1\n", select=["U"])
+    assert result.rules_run == ["U001", "U002", "U003"]
+
+
+def test_select_prefix_d_expands(tmp_path):
+    _, result = lint_snippet(tmp_path, "ftl/x.py", "x = 1\n", select=["D"])
+    assert result.rules_run == ["D001", "D002", "D003"]
+
+
+def test_select_mixes_ids_and_prefixes(tmp_path):
+    _, result = lint_snippet(tmp_path, "ftl/x.py", "x = 1\n",
+                             select=["D001", "U"])
+    assert result.rules_run == ["D001", "U001", "U002", "U003"]
+
+
+def test_select_unknown_prefix_raises(tmp_path):
+    with pytest.raises(ValueError, match="unknown rule"):
+        run_lint(tmp_path, select=["Q"])
