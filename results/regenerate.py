@@ -1,18 +1,21 @@
 #!/usr/bin/env python3
-"""Regenerate every reference artifact JSON in this directory.
+"""Regenerate the committed reference artifacts in this directory.
 
-``--golden`` additionally regenerates the committed smoke-scale golden
-metric files under ``golden/`` that ``tests/test_golden_results.py``
-guards (only needed when a deliberate behaviour change shifts the
-numbers; the commit diff then documents the shift).
+With no flags, everything regenerates in **one pass** — figure/table
+JSONs, the smoke-scale golden metric files under ``golden/``, and
+``schema_snapshot.json`` — so a behaviour change can never leave one
+artifact class stale while the others move (PR 4 shipped a stale
+``fig12.json`` exactly that way).  ``--figures`` / ``--golden`` /
+``--schema`` restrict the pass when only one class is affected.
 
-``--schema`` regenerates ``schema_snapshot.json`` — the committed
-``SimulationResult`` field/summary-key inventory that the ``repro-ssd
-lint`` S001 drift guard compares against (run it in the same commit
-that changes the result schema and bumps ``CACHE_SCHEMA_VERSION``; see
-``docs/STATIC_ANALYSIS.md``).
+Every invocation ends with a schema-sync check: if the live
+``SimulationResult`` schema or ``CACHE_SCHEMA_VERSION`` disagrees with
+the on-disk ``schema_snapshot.json`` after the pass, the script fails
+loudly (exit 1) instead of leaving the ``repro-ssd lint`` S001 drift
+guard armed against a stale snapshot.
 """
 
+import argparse
 import json
 import sys
 from pathlib import Path
@@ -34,7 +37,17 @@ GOLDEN_METRICS = {
 }
 
 
+def regenerate_figures() -> None:
+    """Rebuild every experiment's reference JSON at the small scale."""
+    for eid in EXPERIMENTS:
+        artifact = run(eid, scale=SCALE, seed=SEED)
+        path = OUT / f"{eid}.json"
+        artifact.save_json(path)
+        print(f"wrote {path}")
+
+
 def regenerate_golden() -> None:
+    """Rebuild the smoke-scale golden metric pins under ``golden/``."""
     ctx = RunContext(scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
     results = ctx.run_matrix()
     golden_dir = OUT / "golden"
@@ -55,20 +68,76 @@ def regenerate_golden() -> None:
 
 
 def regenerate_schema() -> None:
+    """Rebuild ``schema_snapshot.json`` from the live source tree."""
     from repro.analysis.schema import write_schema_snapshot
 
     path = write_schema_snapshot(OUT.parent)
     print(f"wrote {path}")
 
 
-if __name__ == "__main__":
-    if "--schema" in sys.argv:
+def verify_schema_sync() -> "list[str]":
+    """Compare the live schema against the on-disk snapshot.
+
+    Returns a list of mismatch descriptions (empty = in sync).  Runs at
+    the end of *every* invocation: ``CACHE_SCHEMA_VERSION`` must never
+    change without the snapshot refreshing in the same pass.
+    """
+    from repro.analysis.schema import SNAPSHOT_RELPATH, current_schema
+
+    live = current_schema(OUT.parent / "src" / "repro")
+    if live is None:
+        return ["cannot extract the live schema from src/repro"]
+    snap_path = OUT.parent / SNAPSHOT_RELPATH
+    if not snap_path.is_file():
+        return [f"{SNAPSHOT_RELPATH} is missing — rerun with --schema"]
+    try:
+        snap = json.loads(snap_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable {SNAPSHOT_RELPATH}: {exc}"]
+    problems = []
+    if live.get("cache_schema_version") != snap.get("cache_schema_version"):
+        problems.append(
+            f"CACHE_SCHEMA_VERSION is {live.get('cache_schema_version')} but "
+            f"{SNAPSHOT_RELPATH} records {snap.get('cache_schema_version')}")
+    for key in ("fields", "nondeterministic_fields", "summary_keys"):
+        if set(live.get(key) or ()) != set(snap.get(key) or ()):
+            problems.append(f"{key} drifted between the source and the "
+                            f"snapshot")
+    return problems
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--figures", action="store_true",
+                        help="regenerate only the figure/table JSONs")
+    parser.add_argument("--golden", action="store_true",
+                        help="regenerate only the golden metric pins")
+    parser.add_argument("--schema", action="store_true",
+                        help="regenerate only schema_snapshot.json")
+    args = parser.parse_args(argv)
+    everything = not (args.figures or args.golden or args.schema)
+
+    # Schema first: a stale snapshot must not outlive the pass that
+    # changed the result shape.
+    if everything or args.schema:
         regenerate_schema()
-    elif "--golden" in sys.argv:
+    if everything or args.golden:
         regenerate_golden()
-    else:
-        for eid in EXPERIMENTS:
-            artifact = run(eid, scale=SCALE, seed=SEED)
-            path = OUT / f"{eid}.json"
-            artifact.save_json(path)
-            print(f"wrote {path}")
+    if everything or args.figures:
+        regenerate_figures()
+
+    problems = verify_schema_sync()
+    if problems:
+        print("schema out of sync after regeneration:", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        print("  fix: bump CACHE_SCHEMA_VERSION if the schema moved, then "
+              "rerun 'python results/regenerate.py --schema'",
+              file=sys.stderr)
+        return 1
+    print("schema snapshot in sync")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ from .error import RberModel, BCHCode, EccModel
 from .ftl import BaselineFTL, DeltaFTL, MGAFTL
 from .ftl.levels import BlockLevel
 from .core import IPUFTL
+from .frontend import FrontendConfig
 from .sim import Simulator, SimulationResult, replay
 
 __version__ = "1.0.0"
@@ -71,6 +72,7 @@ __all__ = [
     "DeltaFTL",
     "IPUFTL",
     "BlockLevel",
+    "FrontendConfig",
     "Simulator",
     "SimulationResult",
     "replay",

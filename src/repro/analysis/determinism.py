@@ -109,9 +109,11 @@ class WallClockRule(Rule):
     title = "wall clock outside the diagnostic allowlist"
 
     #: Modules with sanctioned wall-time diagnostics: the bench harness,
-    #: the simulator's ``wall_seconds`` bookkeeping, and the GC victim
-    #: policies' ``scan_seconds`` host-cost counter.
-    ALLOWED = frozenset({"bench.py", "sim/simulator.py", "ftl/victim.py"})
+    #: the simulators' ``wall_seconds`` bookkeeping (direct and front-end
+    #: replay paths), and the GC victim policies' ``scan_seconds``
+    #: host-cost counter.
+    ALLOWED = frozenset({"bench.py", "sim/simulator.py",
+                         "frontend/simulate.py", "ftl/victim.py"})
 
     def check_file(self, src: SourceFile) -> Iterator[Violation]:
         if src.relpath in self.ALLOWED:
@@ -172,7 +174,7 @@ class SetIterationRule(Rule):
     title = "unordered set iteration in simulation state"
 
     #: Packages whose state feeds results; first path component.
-    TARGET_DIRS = frozenset({"ftl", "nand", "sim", "core"})
+    TARGET_DIRS = frozenset({"ftl", "nand", "sim", "core", "frontend"})
 
     def check_file(self, src: SourceFile) -> Iterator[Violation]:
         parts = src.relpath.split("/")

@@ -62,7 +62,16 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     _setup_execution(args)
-    artifact = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+    kwargs = {}
+    if args.qd:
+        kwargs["qds"] = tuple(int(q) for q in args.qd.split(","))
+    if args.frontend is not None:
+        kwargs["frontend"] = args.frontend
+    if kwargs and args.experiment != "ext-qd":
+        print(f"--qd/--frontend only apply to ext-qd, not {args.experiment}")
+        return 2
+    artifact = run_experiment(args.experiment, scale=args.scale,
+                              seed=args.seed, **kwargs)
     print(artifact.render())
     if args.json:
         artifact.save_json(args.json)
@@ -95,23 +104,49 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     _setup_execution(args)
-    ctx = default_context(args.scale, args.seed)
-    if args.qd:
-        from . import SCHEMES as schemes
-        from .sim import Simulator
-        ftl = schemes[args.scheme](ctx.trace_config(args.trace))
-        result = Simulator(ftl).run_closed(ctx.trace(args.trace),
-                                           queue_depth=args.qd)
-        mode = f"closed loop, QD={args.qd}"
-    else:
+    if args.frontend:
+        from .experiments.runner import new_context
+        from .frontend import FrontendConfig
+        from .frontend.config import DEFAULT_QUEUE_DEPTH
+        qd = args.qd or DEFAULT_QUEUE_DEPTH
+        ctx = new_context(args.scale, args.seed)
+        ctx.frontend = FrontendConfig.from_qd(qd)
         result = ctx.run(args.trace, args.scheme)
-        mode = "open loop"
+        mode = f"frontend, QD={qd}"
+    else:
+        ctx = default_context(args.scale, args.seed)
+        if args.qd:
+            from . import SCHEMES as schemes
+            from .sim import Simulator
+            ftl = schemes[args.scheme](ctx.trace_config(args.trace))
+            result = Simulator(ftl).run_closed(ctx.trace(args.trace),
+                                               queue_depth=args.qd)
+            mode = f"closed loop, QD={args.qd}"
+        else:
+            result = ctx.run(args.trace, args.scheme)
+            mode = "open loop"
     rows = [{"metric": k, "value": v} for k, v in result.summary().items()]
-    if args.qd and result.sim_time_ms:
+    if args.frontend:
+        rows += [
+            {"metric": "p99_latency_ms", "value": result.lat_p99_ms},
+            {"metric": "cache_read_hits", "value": result.cache_read_hits},
+            {"metric": "cache_read_misses", "value": result.cache_read_misses},
+            {"metric": "merged_writes", "value": result.merged_writes},
+            {"metric": "coalesced_writes", "value": result.coalesced_writes},
+            {"metric": "flushes", "value": result.flushes},
+        ]
+    elif args.qd and result.sim_time_ms:
         rows.append({"metric": "KIOPS",
                      "value": f"{result.n_requests / result.sim_time_ms:.3f}"})
     print(format_table(rows, title=f"{args.scheme} on {args.trace} "
                                    f"({mode}, scale={args.scale})"))
+    if args.json:
+        import json as _json
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(result.deterministic_dict(), fh,
+                       sort_keys=True, separators=(",", ":"))
+            fh.write("\n")
+        print(f"(deterministic result written to {args.json})")
     _print_execution_summary()
     return 0
 
@@ -265,6 +300,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=1)
     p_run.add_argument("--json", metavar="PATH",
                        help="also write the artifact rows as JSON")
+    p_run.add_argument("--qd", metavar="Q1,Q2", default=None,
+                       help="queue depths for the ext-qd sweep "
+                            "(comma-separated; default 1,4,16,64)")
+    p_run.add_argument("--frontend", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="include/skip the device front-end rows in the "
+                            "ext-qd sweep (default: include)")
     add_execution_flags(p_run)
     p_run.set_defaults(fn=_cmd_run)
 
@@ -284,7 +326,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=1)
     p_sim.add_argument("--qd", type=int, default=0, metavar="DEPTH",
                        help="closed-loop replay at this queue depth "
-                            "(0 = open-loop timestamp replay)")
+                            "(0 = open-loop timestamp replay); with "
+                            "--frontend, the scheduler's queue depth")
+    p_sim.add_argument("--frontend", action="store_true",
+                       help="replay through the device front-end (write "
+                            "buffer + multi-queue scheduler)")
+    p_sim.add_argument("--json", metavar="PATH",
+                       help="write the deterministic result dict as "
+                            "canonical JSON (byte-stable across replays)")
     add_execution_flags(p_sim)
     p_sim.set_defaults(fn=_cmd_simulate)
 

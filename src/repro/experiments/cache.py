@@ -35,7 +35,7 @@ from ..units import Ms
 
 #: Bump whenever simulator behaviour or the result schema changes, so a
 #: code change can never be masked by a stale cache entry.
-CACHE_SCHEMA_VERSION = 3
+CACHE_SCHEMA_VERSION = 4
 
 
 def default_cache_dir() -> Path:
@@ -50,7 +50,8 @@ def cell_key(config: SSDConfig, profile: TraceProfile, n_requests: int,
              interarrival_ms: Ms | None, scheme: str, scale: str,
              seed: int, length_factor: float = 1.0,
              pe: int | None = None,
-             faults: dict | None = None) -> str:
+             faults: dict | None = None,
+             frontend: dict | None = None) -> str:
     """SHA-256 digest identifying one simulation cell.
 
     Everything that influences the replay goes in: the full nested config
@@ -64,6 +65,12 @@ def cell_key(config: SSDConfig, profile: TraceProfile, n_requests: int,
     canonicalise a disabled config to ``None`` (``RunContext`` does), so
     a rate-0 campaign shares keys — and results — with ordinary runs,
     and a fault campaign can never be served a cached no-fault result.
+
+    ``frontend`` is the serialised :class:`repro.frontend.FrontendConfig`
+    of a front-end replay, under the same contract: disabled configs are
+    canonicalised to ``None``, so they share keys with direct-path runs
+    (whose results they reproduce bit-identically), while any enabled
+    knob combination gets its own key space.
     """
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
@@ -77,6 +84,7 @@ def cell_key(config: SSDConfig, profile: TraceProfile, n_requests: int,
         "length_factor": float(length_factor),
         "pe": pe,
         "faults": faults,
+        "frontend": frontend,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -140,14 +140,31 @@ def build_cache_sensitivity(scale: str = "small", seed: int = 1) -> Artifact:
     )
 
 
-def build_qd_study(scale: str = "small", seed: int = 1) -> Artifact:
-    """Closed-loop throughput versus queue depth per scheme."""
+#: Queue depths the ext-qd sweep visits by default.
+QD_SWEEP = (1, 4, 16, 64)
+
+
+def build_qd_study(scale: str = "small", seed: int = 1,
+                   qds: "tuple[int, ...]" = QD_SWEEP,
+                   frontend: bool = True) -> Artifact:
+    """Queue-depth sweep, closed loop and through the device front-end.
+
+    ``closed`` rows replay with the classic closed-loop driver (no
+    buffer, QD caps outstanding requests).  ``frontend`` rows replay the
+    open-loop trace through the write-back buffer and the multi-queue
+    scheduler (:mod:`repro.frontend`), reporting the buffer's hit /
+    coalesce / flush counters and the tail of the response-time
+    distribution.  ``--qd``/``--frontend`` on ``repro-ssd run`` map to
+    the ``qds``/``frontend`` keywords.
+    """
     from .. import SCHEMES
+    from .runner import new_context
     ctx = default_context(scale, seed)
     rows = []
     trace = ctx.trace("ts0")
-    for qd in (1, 4, 16, 64):
-        for scheme in ("baseline", "mga", "ipu"):
+    schemes = ("baseline", "mga", "ipu")
+    for qd in qds:
+        for scheme in schemes:
             ftl = SCHEMES[scheme](ctx.trace_config("ts0"))
             result = Simulator(ftl).run_closed(trace, queue_depth=qd)
             iops = (result.n_requests / result.sim_time_ms * 1e3
@@ -155,17 +172,44 @@ def build_qd_study(scale: str = "small", seed: int = 1) -> Artifact:
             rows.append({
                 "QD": qd,
                 "Scheme": scheme,
+                "mode": "closed",
                 "KIOPS": f"{iops / 1e3:.2f}",
                 "mean lat ms": f"{result.avg_latency_ms:.4f}",
+                "p99 ms": "-",
+                "hits": "-",
+                "coalesced": "-",
+                "flushes": "-",
             })
+    if frontend:
+        from ..frontend import FrontendConfig
+        for qd in qds:
+            fctx = new_context(scale, seed)
+            fctx.frontend = FrontendConfig.from_qd(qd)
+            fctx.run_cells([("ts0", s, None) for s in schemes])
+            for scheme in schemes:
+                result = fctx.run("ts0", scheme)
+                rows.append({
+                    "QD": qd,
+                    "Scheme": scheme,
+                    "mode": "frontend",
+                    "KIOPS": "-",
+                    "mean lat ms": f"{result.avg_latency_ms:.4f}",
+                    "p99 ms": f"{result.lat_p99_ms:.4f}",
+                    "hits": result.cache_read_hits,
+                    "coalesced": result.coalesced_writes,
+                    "flushes": result.flushes,
+                })
     return Artifact(
         id="ext-qd",
-        title="Closed-loop throughput vs queue depth (ts0)",
+        title="Queue-depth sweep: closed loop and device front-end (ts0)",
         rows=rows,
         scale=scale,
-        notes=("Sustainable-rate view of the same comparison: throughput "
-               "saturates at the device's chip parallelism; the scheme "
-               "ordering matches the open-loop latency figures."),
+        notes=("Closed-loop rows are the sustainable-rate view (throughput "
+               "saturates at the device's chip parallelism).  Front-end "
+               "rows replay the arrival-paced trace through the coalescing "
+               "write buffer and multi-queue scheduler: deeper queues hide "
+               "destage backpressure, so the p99 tail tightens with QD "
+               "while the hit/coalesce counters barely move."),
     )
 
 

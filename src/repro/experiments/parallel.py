@@ -61,20 +61,26 @@ class CellSpec:
     #: Serialised :class:`repro.faults.FaultConfig` of a fault campaign
     #: (None = no injection) — a string so the spec stays primitives-only.
     faults_json: str | None = None
+    #: Serialised :class:`repro.frontend.FrontendConfig` of a front-end
+    #: replay (None = direct path), under the same primitives-only rule.
+    frontend_json: str | None = None
 
 
 def simulate_cell(spec: CellSpec) -> dict:
     """Worker entry point: replay one cell, return its serialised result."""
     from ..faults import FaultConfig
+    from ..frontend import FrontendConfig
     from .cache import ResultCache
     from .runner import RunContext
 
     cache = ResultCache(spec.cache_dir) if spec.cache_dir else None
     faults = (FaultConfig.from_json(spec.faults_json)
               if spec.faults_json else None)
+    frontend = (FrontendConfig.from_json(spec.frontend_json)
+                if spec.frontend_json else None)
     ctx = RunContext(scale=spec.scale, seed=spec.seed,
                      length_factor=spec.length_factor, cache=cache,
-                     faults=faults)
+                     faults=faults, frontend=frontend)
     return ctx.run(spec.trace, spec.scheme, pe=spec.pe).to_dict()
 
 

@@ -46,17 +46,28 @@ def get(experiment_id: str) -> Callable[..., Artifact]:
 
 
 def run(experiment_id: str, scale: str = "small", seed: int = 1, *,
-        jobs: "int | None" = None, cache=None) -> Artifact:
+        jobs: "int | None" = None, cache=None, **kwargs) -> Artifact:
     """Run one experiment and return its artifact.
 
     ``jobs`` (worker-process count; 0 = one per CPU) and ``cache`` (a
     :class:`~repro.experiments.cache.ResultCache`) set the process-wide
     execution defaults before building — the keyword form of the CLI's
-    ``--jobs`` / ``--cache-dir`` flags.
+    ``--jobs`` / ``--cache-dir`` flags.  Extra keywords pass through to
+    the builder (e.g. ``qds``/``frontend`` for ``ext-qd``); an unknown
+    keyword raises :class:`~repro.errors.ExperimentError` naming the
+    experiment rather than a bare ``TypeError``.
     """
     from . import runner
     if jobs is not None:
         runner.configure_execution(jobs=jobs)
     if cache is not None:
         runner.configure_execution(cache=cache)
-    return get(experiment_id)(scale=scale, seed=seed)
+    builder = get(experiment_id)
+    try:
+        return builder(scale=scale, seed=seed, **kwargs)
+    except TypeError as exc:
+        if kwargs:
+            raise ExperimentError(
+                f"experiment {experiment_id!r} does not accept "
+                f"{sorted(kwargs)}: {exc}") from None
+        raise

@@ -34,6 +34,7 @@ from ..config import (
 )
 from ..errors import ExperimentError
 from ..faults import FaultConfig, attach_faults
+from ..frontend import FrontendConfig
 from ..sim.simulator import SimulationResult, Simulator
 from ..traces.model import Trace
 from ..traces.profiles import TRACE_NAMES, TraceProfile, profile
@@ -97,6 +98,11 @@ class RunContext:
     #: attachment), so rate-0 campaigns reproduce — and share cache
     #: entries with — ordinary fault-free runs bit-identically.
     faults: FaultConfig | None = None
+    #: Optional device front-end config (:mod:`repro.frontend`).  Same
+    #: canonicalisation contract as ``faults``: a disabled config is
+    #: treated as ``None`` everywhere, so carrying one is bit-identical
+    #: to — and shares cache entries with — the direct replay path.
+    frontend: FrontendConfig | None = None
     #: Cells this context actually simulated (cache hits excluded) and the
     #: wall-clock seconds those replays took — the CLI summary counters.
     executed_cells: int = field(default=0, compare=False)
@@ -210,6 +216,13 @@ class RunContext:
             return None
         return faults
 
+    def _active_frontend(self) -> FrontendConfig | None:
+        """The front-end config when enabled, else ``None``."""
+        frontend = self.frontend
+        if frontend is None or not frontend.enabled:
+            return None
+        return frontend
+
     def cell_key(self, trace_name: str, scheme: str, pe: int | None = None,
                  ) -> str:
         """Content hash identifying one simulation cell for the on-disk
@@ -217,12 +230,14 @@ class RunContext:
         identity (see :func:`repro.experiments.cache.cell_key`)."""
         prof = profile(trace_name)
         faults = self._active_faults()
+        frontend = self._active_frontend()
         return _cache_cell_key(
             self.trace_config(trace_name, pe), prof,
             self.trace_requests(trace_name),
             estimate_interarrival_ms(prof, self.trace_config(trace_name)),
             scheme, self.scale, self.seed, self.length_factor, pe,
-            faults=faults.to_dict() if faults is not None else None)
+            faults=faults.to_dict() if faults is not None else None,
+            frontend=frontend.to_dict() if frontend is not None else None)
 
     def _check_scheme(self, scheme: str) -> None:
         from .. import SCHEMES
@@ -248,7 +263,12 @@ class RunContext:
         cfg = self.trace_config(trace_name, pe)
         ftl = SCHEMES[scheme](cfg)
         attach_faults(ftl, self._active_faults(), seed=self.seed)
-        result = Simulator(ftl).run(self.trace(trace_name))
+        frontend = self._active_frontend()
+        if frontend is not None:
+            from ..frontend.simulate import FrontendSimulator
+            result = FrontendSimulator(ftl, frontend).run(self.trace(trace_name))
+        else:
+            result = Simulator(ftl).run(self.trace(trace_name))
         self.executed_cells += 1
         self.executed_seconds += result.wall_seconds
         if self.cache is not None:
@@ -291,12 +311,15 @@ class RunContext:
         cache_dir = str(self.cache.root) if self.cache is not None else None
         faults = self._active_faults()
         faults_json = faults.to_json() if faults is not None else None
+        frontend = self._active_frontend()
+        frontend_json = frontend.to_json() if frontend is not None else None
         specs = [
             parallel.CellSpec(scale=self.scale, seed=self.seed,
                               trace=t, scheme=s, pe=pe,
                               length_factor=self.length_factor,
                               cache_dir=cache_dir,
-                              faults_json=faults_json)
+                              faults_json=faults_json,
+                              frontend_json=frontend_json)
             for (t, s, pe) in pending
         ]
         for key, payload in zip(pending, parallel.run_cells(specs, n_workers)):

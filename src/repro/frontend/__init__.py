@@ -1,0 +1,20 @@
+"""Device front-end: coalescing write buffer + multi-queue scheduler.
+
+The host-side layer between the request stream and the FTL (ROADMAP
+open item 1).  ``config`` is dependency-free (cache keys, worker
+specs); ``cache`` and ``scheduler`` are pure data structures;
+``simulate`` ties them to the simulator stack.  See
+``docs/FRONTEND.md``.
+"""
+
+from .cache import BufferStats, WriteBuffer
+from .config import FrontendConfig
+from .scheduler import FrontRequest, MultiQueueScheduler
+
+__all__ = [
+    "BufferStats",
+    "FrontendConfig",
+    "FrontRequest",
+    "MultiQueueScheduler",
+    "WriteBuffer",
+]

@@ -1,0 +1,207 @@
+"""Replay through the device front-end: buffer + scheduler + FTL.
+
+:class:`FrontendSimulator` is the front-end counterpart of
+:class:`~repro.sim.simulator.Simulator`: same trace, same FTL, same
+:class:`~repro.sim.timing.TimingModel` pricing on the same
+:class:`~repro.sim.resources.ResourceSet` — but host requests pass
+through the :class:`~repro.frontend.cache.WriteBuffer` and the
+:class:`~repro.frontend.scheduler.MultiQueueScheduler` first:
+
+* a **write** is absorbed into the buffer at dispatch time and
+  acknowledged after the DRAM ack cost — unless the insert overflowed
+  the buffer, in which case the request additionally waits for the
+  pressure-flush spans it forced out (write backpressure is what makes
+  queue depth matter);
+* a **read** splits into buffer hits (DRAM cost) and misses (the FTL
+  read path, chip/channel time reserved as usual);
+* the periodic writeback sweep and the end-of-run drain destage in the
+  background: their flash ops occupy the chips and delay later
+  requests, but complete no host request;
+* a power loss drops the dirty buffer contents (DRAM does not survive)
+  *before* the mount scan runs — destaged-but-torn subpages follow the
+  ordinary torn-page recovery, so a buffered write is either replayed
+  from flash or dropped with the buffer, never duplicated.
+
+Determinism: the FTL mutates in scheduler dispatch order, which is a
+pure function of the submission history (see ``scheduler.py``); the
+buffer is insertion-ordered.  Two replays of the same cell — including
+across the parallel fan-out — are bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from ..config import SSDConfig
+from ..sim.ops import Cause, OpKind
+from ..sim.resources import ResourceSet
+from ..sim.simulator import SimulationResult, collect_result
+from ..sim.timing import TimingModel
+from ..traces.model import Trace
+from ..units import Lsn, Ms
+from .cache import WriteBuffer
+from .config import FrontendConfig
+from .scheduler import FrontRequest, MultiQueueScheduler
+
+#: Op causes that complete a host request (same set the direct path uses).
+_HOSTLIKE = (Cause.HOST, Cause.TRANSLATION)
+
+
+class FrontendSimulator:
+    """Replays traces through the write buffer and multi-queue scheduler."""
+
+    def __init__(self, ftl, frontend: FrontendConfig,
+                 config: SSDConfig | None = None):
+        frontend.validate()
+        self.ftl = ftl
+        self.config = config if config is not None else ftl.config
+        self.frontend = frontend
+        self.geometry = ftl.geometry
+        self.timing = TimingModel(self.config, ecc=ftl.ecc, rber=ftl.rber)
+        self.resources = ResourceSet(self.geometry)
+        self.buffer = WriteBuffer(frontend)
+        self._subpage_bits = self.geometry.subpage_size * 8
+        self._latencies: np.ndarray | None = None
+        self._read_raw_errors = 0.0
+        self._read_bits = 0
+
+    # -- op pricing ----------------------------------------------------------
+
+    def _reserve(self, op, when: Ms) -> Ms:
+        """Reserve chip/channel time for one op; returns its end time."""
+        if self.config.timing.pipelined_bus:
+            chip_ms, chan_ms, chip_first = self.timing.segments_ms(op)
+            _, end = self.resources.acquire_pipelined(
+                op.block_id, when, chip_ms, chan_ms, chip_first)
+        else:
+            _, end = self.resources.acquire_for_block(
+                op.block_id, when, self.timing.duration_ms(op))
+        return end
+
+    def _flush_span(self, span: "list[Lsn]", now: Ms) -> Ms:
+        """Destage one buffer span through the FTL; returns the last end
+        time among its ops (GC riding along included — a pressure-flushed
+        writer waits for the whole eviction it forced)."""
+        end = now
+        for op in self.ftl.handle_write(span, now):
+            op_end = self._reserve(op, now)
+            if op_end > end:
+                end = op_end
+        return end
+
+    # -- scheduler issue callback --------------------------------------------
+
+    def _issue(self, request: FrontRequest, issue_ms: Ms) -> Ms:
+        """Run one dispatched request; returns its completion time."""
+        fe = self.frontend
+        if request.is_write:
+            spans = self.buffer.write(request.lsns, issue_ms)
+            complete = issue_ms + fe.write_ack_ms
+            for span in spans:
+                end = self._flush_span(span, issue_ms)
+                if end > complete:
+                    complete = end
+        else:
+            hits, misses = self.buffer.split_read(request.lsns)
+            complete = issue_ms + fe.read_hit_ms if hits else issue_ms
+            if misses:
+                ops = self.ftl.handle_read(misses, issue_ms)
+                for op in ops:
+                    if op.cause not in _HOSTLIKE:
+                        continue
+                    end = self._reserve(op, issue_ms)
+                    if end > complete:
+                        complete = end
+                    if op.kind is OpKind.READ and op.cause is Cause.HOST:
+                        self._read_raw_errors += op.raw_errors
+                        self._read_bits += op.n_slots * self._subpage_bits
+                for op in ops:
+                    if op.cause not in _HOSTLIKE:
+                        self._reserve(op, issue_ms)
+        self._latencies[request.index] = complete - request.arrival_ms
+        return complete
+
+    # -- replay --------------------------------------------------------------
+
+    def run(self, trace: Trace) -> SimulationResult:
+        """Replay ``trace`` through the front-end and aggregate metrics."""
+        wall_start = time.perf_counter()
+        n = len(trace)
+        self._latencies = np.zeros(n, dtype=np.float64)
+        self._read_raw_errors = 0.0
+        self._read_bits = 0
+        is_write = trace.is_write
+
+        ftl = self.ftl
+        buffer = self.buffer
+        geometry = self.geometry
+        byte_range_to_lsns = geometry.byte_range_to_lsns
+        subpages_per_page = geometry.subpages_per_page
+        n_chips = geometry.chips
+        scheduler = MultiQueueScheduler(
+            n_chips, self.frontend.queue_depth, self._issue)
+        self.scheduler = scheduler
+        timing = self.timing
+        faults_plan = getattr(ftl, "faults", None)
+        next_power_loss = (faults_plan.next_power_loss(0.0)
+                           if faults_plan is not None else math.inf)
+
+        times = trace.times_ms.tolist()
+        offsets = trace.offsets.tolist()
+        sizes = trace.sizes.tolist()
+        writes = is_write.tolist()
+        now = 0.0
+        for i in range(n):
+            now = times[i]
+            while now >= next_power_loss:
+                # DRAM dies first: dirty buffer contents are gone before
+                # the mount scan repairs whatever reached the flash.
+                buffer.drop_all()
+                faults_plan.power_loss(ftl, next_power_loss, timing)
+                next_power_loss = faults_plan.next_power_loss(next_power_loss)
+            # Periodic writeback: destage entries past their delay in the
+            # background (they occupy chips but complete no request).
+            for span in buffer.expire(now):
+                self._flush_span(span, now)
+            lsns = list(byte_range_to_lsns(offsets[i], sizes[i]))
+            queue_id = (lsns[0] // subpages_per_page) % n_chips
+            scheduler.submit(
+                FrontRequest(index=i, arrival_ms=now, lsns=lsns,
+                             is_write=bool(writes[i])),
+                queue_id, now)
+        # End of trace: run the queues dry, then destage what is left in
+        # the buffer so the flash holds the final image.
+        last_completion = scheduler.drain()
+        drain_ms = last_completion if last_completion > now else now
+        for span in buffer.drain():
+            self._flush_span(span, drain_ms)
+
+        latencies = self._latencies
+        result = collect_result(
+            ftl, self.config,
+            trace_name=trace.name,
+            n_requests=n,
+            sim_time_ms=now,
+            wall_seconds=time.perf_counter() - wall_start,
+            read_latencies=latencies[~is_write],
+            write_latencies=latencies[is_write],
+            read_raw_errors=self._read_raw_errors,
+            read_bits=self._read_bits,
+        )
+        stats = buffer.stats
+        result.cache_read_hits = stats.read_hits
+        result.cache_read_misses = stats.read_misses
+        result.merged_writes = stats.merged_writes
+        result.coalesced_writes = stats.coalesced_writes
+        result.flushes = stats.flushes
+        result.flushed_subpages = stats.flushed_subpages
+        result.dropped_subpages = stats.dropped_subpages
+        result.frontend_queue_depth = self.frontend.queue_depth
+        if n:
+            result.lat_p50_ms = float(np.percentile(latencies, 50))
+            result.lat_p90_ms = float(np.percentile(latencies, 90))
+            result.lat_p99_ms = float(np.percentile(latencies, 99))
+        return result

@@ -104,6 +104,24 @@ class SimulationResult:
     recovered_subpages: int = 0
     recovery_ms: Ms = 0.0
 
+    # Device front-end counters (repro.frontend).  All zero — and
+    # bit-identical to front-end-less results — unless the replay went
+    # through FrontendSimulator.
+    cache_read_hits: int = 0
+    cache_read_misses: int = 0
+    merged_writes: int = 0
+    coalesced_writes: int = 0
+    flushes: int = 0
+    flushed_subpages: int = 0
+    dropped_subpages: int = 0
+    #: Scheduler queue depth of the front-end replay (0 = direct path).
+    frontend_queue_depth: int = 0
+    #: Response-time percentiles over all requests (front-end replays
+    #: only; the direct path keeps the full latency arrays instead).
+    lat_p50_ms: Ms = 0.0
+    lat_p90_ms: Ms = 0.0
+    lat_p99_ms: Ms = 0.0
+
     # -- headline metrics -------------------------------------------------
 
     @property
@@ -198,6 +216,67 @@ class SimulationResult:
         for name in self.NONDETERMINISTIC_FIELDS:
             out.pop(name, None)
         return out
+
+
+def collect_result(ftl, config: SSDConfig, *, trace_name: str,
+                   n_requests: int, sim_time_ms: Ms, wall_seconds: float,
+                   read_latencies: np.ndarray, write_latencies: np.ndarray,
+                   read_raw_errors: float, read_bits: int,
+                   ) -> SimulationResult:
+    """Assemble a :class:`SimulationResult` from a finished FTL.
+
+    The single place the FTL/flash/GC counters are harvested — the
+    open-loop, closed-loop and front-end replays all end here, so the
+    three paths can never drift in which statistics they report.
+    """
+    flash = ftl.flash
+    stats = ftl.stats
+    result = SimulationResult(
+        scheme=ftl.scheme_name,
+        trace_name=trace_name,
+        n_requests=n_requests,
+        sim_time_ms=sim_time_ms,
+        wall_seconds=wall_seconds,
+        read_latencies=read_latencies,
+        write_latencies=write_latencies,
+        read_raw_errors=read_raw_errors,
+        read_bits=read_bits,
+        erases_slc=flash.erases_slc,
+        erases_mlc=flash.erases_mlc,
+        programs_slc=flash.programs_slc,
+        programs_mlc=flash.programs_mlc,
+        partial_programs=flash.partial_programs,
+        disturbed_valid_subpages=flash.disturbed_valid_subpages,
+        host_programs_slc=stats.host_programs_slc,
+        host_programs_mlc=stats.host_programs_mlc,
+        gc_programs_slc=stats.gc_programs_slc,
+        gc_programs_mlc=stats.gc_programs_mlc,
+        host_subpages_slc=stats.host_subpages_slc,
+        host_subpages_mlc=stats.host_subpages_mlc,
+        gc_subpages_slc=stats.gc_subpages_slc,
+        gc_subpages_mlc=stats.gc_subpages_mlc,
+        level_writes=dict(stats.level_writes),
+        intra_page_updates=stats.intra_page_updates,
+        upgrade_moves=stats.upgrade_moves,
+        new_data_writes=stats.new_data_writes,
+        update_writes=stats.update_writes,
+        slc_overflow_chunks=stats.slc_overflow_chunks,
+        evicted_subpages_to_mlc=stats.evicted_subpages_to_mlc,
+        slc_gc_collections=ftl.slc_gc.stats.collections,
+        slc_page_utilization=ftl.slc_gc.stats.page_utilization,
+        mlc_gc_collections=ftl.mlc_gc.stats.collections,
+        gc_scan_seconds=ftl.slc_gc.policy.scan_seconds,
+        gc_scans=ftl.slc_gc.policy.scans,
+        gc_scan_blocks=getattr(ftl.slc_gc.policy, "scanned_blocks", 0),
+        slc_wear_spread=ftl.slc_wear.spread,
+        mlc_wear_spread=ftl.mlc_wear.spread,
+    )
+    from ..metrics.memory import mapping_breakdown
+    breakdown = mapping_breakdown(ftl.scheme_name, config)
+    result.mapping_table_bytes = breakdown.mapping_bytes
+    result.metadata_bytes = breakdown.metadata_bytes
+    _apply_fault_stats(result, ftl)
+    return result
 
 
 def _apply_fault_stats(result: SimulationResult, ftl) -> None:
@@ -363,10 +442,8 @@ class Simulator:
             if observer is not None:
                 observer(i, now)
 
-        flash = ftl.flash
-        stats = ftl.stats
-        result = SimulationResult(
-            scheme=ftl.scheme_name,
+        return collect_result(
+            ftl, self.config,
             trace_name=trace.name,
             n_requests=n,
             sim_time_ms=now,
@@ -375,42 +452,7 @@ class Simulator:
             write_latencies=latencies[is_write],
             read_raw_errors=read_raw_errors,
             read_bits=read_bits,
-            erases_slc=flash.erases_slc,
-            erases_mlc=flash.erases_mlc,
-            programs_slc=flash.programs_slc,
-            programs_mlc=flash.programs_mlc,
-            partial_programs=flash.partial_programs,
-            disturbed_valid_subpages=flash.disturbed_valid_subpages,
-            host_programs_slc=stats.host_programs_slc,
-            host_programs_mlc=stats.host_programs_mlc,
-            gc_programs_slc=stats.gc_programs_slc,
-            gc_programs_mlc=stats.gc_programs_mlc,
-            host_subpages_slc=stats.host_subpages_slc,
-            host_subpages_mlc=stats.host_subpages_mlc,
-            gc_subpages_slc=stats.gc_subpages_slc,
-            gc_subpages_mlc=stats.gc_subpages_mlc,
-            level_writes=dict(stats.level_writes),
-            intra_page_updates=stats.intra_page_updates,
-            upgrade_moves=stats.upgrade_moves,
-            new_data_writes=stats.new_data_writes,
-            update_writes=stats.update_writes,
-            slc_overflow_chunks=stats.slc_overflow_chunks,
-            evicted_subpages_to_mlc=stats.evicted_subpages_to_mlc,
-            slc_gc_collections=ftl.slc_gc.stats.collections,
-            slc_page_utilization=ftl.slc_gc.stats.page_utilization,
-            mlc_gc_collections=ftl.mlc_gc.stats.collections,
-            gc_scan_seconds=ftl.slc_gc.policy.scan_seconds,
-            gc_scans=ftl.slc_gc.policy.scans,
-            gc_scan_blocks=getattr(ftl.slc_gc.policy, "scanned_blocks", 0),
-            slc_wear_spread=ftl.slc_wear.spread,
-            mlc_wear_spread=ftl.mlc_wear.spread,
         )
-        from ..metrics.memory import mapping_breakdown
-        breakdown = mapping_breakdown(ftl.scheme_name, self.config)
-        result.mapping_table_bytes = breakdown.mapping_bytes
-        result.metadata_bytes = breakdown.metadata_bytes
-        _apply_fault_stats(result, ftl)
-        return result
 
     def run_closed(self, trace: Trace, queue_depth: int = 8) -> SimulationResult:
         """Closed-loop replay: ignore trace timestamps and keep at most
@@ -485,10 +527,8 @@ class Simulator:
             if observer is not None:
                 observer(i, now)
 
-        flash = ftl.flash
-        stats = ftl.stats
-        result = SimulationResult(
-            scheme=ftl.scheme_name,
+        return collect_result(
+            ftl, self.config,
             trace_name=trace.name,
             n_requests=n,
             sim_time_ms=float(completions.max()) if n else 0.0,
@@ -497,42 +537,7 @@ class Simulator:
             write_latencies=latencies[is_write],
             read_raw_errors=read_raw_errors,
             read_bits=read_bits,
-            erases_slc=flash.erases_slc,
-            erases_mlc=flash.erases_mlc,
-            programs_slc=flash.programs_slc,
-            programs_mlc=flash.programs_mlc,
-            partial_programs=flash.partial_programs,
-            disturbed_valid_subpages=flash.disturbed_valid_subpages,
-            host_programs_slc=stats.host_programs_slc,
-            host_programs_mlc=stats.host_programs_mlc,
-            gc_programs_slc=stats.gc_programs_slc,
-            gc_programs_mlc=stats.gc_programs_mlc,
-            host_subpages_slc=stats.host_subpages_slc,
-            host_subpages_mlc=stats.host_subpages_mlc,
-            gc_subpages_slc=stats.gc_subpages_slc,
-            gc_subpages_mlc=stats.gc_subpages_mlc,
-            level_writes=dict(stats.level_writes),
-            intra_page_updates=stats.intra_page_updates,
-            upgrade_moves=stats.upgrade_moves,
-            new_data_writes=stats.new_data_writes,
-            update_writes=stats.update_writes,
-            slc_overflow_chunks=stats.slc_overflow_chunks,
-            evicted_subpages_to_mlc=stats.evicted_subpages_to_mlc,
-            slc_gc_collections=ftl.slc_gc.stats.collections,
-            slc_page_utilization=ftl.slc_gc.stats.page_utilization,
-            mlc_gc_collections=ftl.mlc_gc.stats.collections,
-            gc_scan_seconds=ftl.slc_gc.policy.scan_seconds,
-            gc_scans=ftl.slc_gc.policy.scans,
-            gc_scan_blocks=getattr(ftl.slc_gc.policy, "scanned_blocks", 0),
-            slc_wear_spread=ftl.slc_wear.spread,
-            mlc_wear_spread=ftl.mlc_wear.spread,
         )
-        from ..metrics.memory import mapping_breakdown
-        breakdown = mapping_breakdown(ftl.scheme_name, self.config)
-        result.mapping_table_bytes = breakdown.mapping_bytes
-        result.metadata_bytes = breakdown.metadata_bytes
-        _apply_fault_stats(result, ftl)
-        return result
 
 
 def replay(ftl, trace: Trace, config: SSDConfig | None = None) -> SimulationResult:

@@ -34,6 +34,26 @@ class TestRegistry:
         with pytest.raises(ExperimentError):
             run("fig99")
 
+    def test_builder_kwargs_rejected_when_unsupported(self):
+        with pytest.raises(ExperimentError, match="does not accept"):
+            run("fig7", scale=SCALE, seed=SEED, qds=(2,))
+
+
+class TestQdStudy:
+    def test_ext_qd_renders_closed_and_frontend_rows(self):
+        art = run("ext-qd", scale=SCALE, seed=SEED, qds=(2,))
+        assert {row["mode"] for row in art.rows} == {"closed", "frontend"}
+        assert all(row["QD"] == 2 for row in art.rows)
+        closed = [r for r in art.rows if r["mode"] == "closed"]
+        fe = [r for r in art.rows if r["mode"] == "frontend"]
+        assert len(closed) == len(fe) == 3
+        # Closed rows carry the throughput view, frontend rows the
+        # buffer counters and the latency tail.
+        assert all(r["KIOPS"] != "-" and r["p99 ms"] == "-" for r in closed)
+        assert all(r["KIOPS"] == "-" and r["p99 ms"] != "-" for r in fe)
+        assert any(int(r["hits"]) > 0 for r in fe)
+        assert any(int(r["flushes"]) > 0 for r in fe)
+
 
 class TestRunContext:
     def test_unknown_scale(self):

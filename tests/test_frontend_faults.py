@@ -1,0 +1,131 @@
+"""Fault-interaction regressions for the device front-end.
+
+The write buffer changes *when* data reaches the flash, so every fault
+mechanism has to be re-checked against it.  The load-bearing contract is
+the power-loss one: a buffered write is either replayed from flash by
+the mount scan (it was destaged before the loss, possibly torn) or
+dropped with the DRAM buffer (it was still dirty) — **never duplicated**
+and never left half-applied.  Program-failure remaps must likewise keep
+the device consistent when the failing program came from a coalesced
+flush span rather than a host write.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultConfig, attach_faults
+from repro.frontend import FrontendConfig
+from repro.frontend.simulate import FrontendSimulator
+from repro.traces.profiles import profile
+from repro.traces.synth import generate
+
+from conftest import tiny_config
+
+SCHEMES = ("baseline", "mga", "ipu")
+
+
+def short_trace(seed=11, n_requests=800):
+    return generate(profile("ts0"), n_requests=n_requests, seed=seed,
+                    mean_interarrival_ms=0.6)
+
+
+def build_ftl(scheme, seed=0):
+    from repro import SCHEMES as factories
+    return factories[scheme](tiny_config(seed=seed))
+
+
+#: Small buffer with a huge writeback delay: entries destage only under
+#: pressure or at the end-of-run drain, so a power loss almost always
+#: finds dirty DRAM contents to drop.
+def lazy_frontend(**kw):
+    base = dict(enabled=True, queue_depth=4, buffer_subpages=16,
+                flush_watermark=0.5, writeback_delay_ms=1e9,
+                flush_span_subpages=4)
+    base.update(kw)
+    return FrontendConfig(**base)
+
+
+def run_faulty(scheme, faults, fe, *, fault_seed=3, n_requests=800):
+    ftl = build_ftl(scheme)
+    attach_faults(ftl, faults, seed=fault_seed)
+    result = FrontendSimulator(ftl, fe).run(short_trace(n_requests=n_requests))
+    return ftl, result
+
+
+def assert_no_duplicate_bindings(ftl):
+    """No LSN may hold more than one valid subpage on the flash — a
+    duplicate means a buffered write was both replayed and re-applied."""
+    seen = set()
+    for block in ftl.flash.blocks:
+        valid = block.valid
+        slot_lsn = block.slot_lsn
+        for page in range(valid.shape[0]):
+            for slot in range(valid.shape[1]):
+                if not valid[page, slot]:
+                    continue
+                lsn = int(slot_lsn[page, slot])
+                assert lsn not in seen, \
+                    f"LSN {lsn} valid twice on flash (scheme {ftl.scheme_name})"
+                seen.add(lsn)
+    mapped = {lsn for lsn, _ in ftl.iter_bindings()}
+    assert mapped <= seen
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+class TestPowerLossWithDirtyBuffer:
+    FAULTS = FaultConfig(power_loss_per_ms=0.02)
+
+    def test_losses_hit_a_nonempty_buffer_and_recover(self, scheme):
+        ftl, result = run_faulty(scheme, self.FAULTS, lazy_frontend())
+        assert result.power_loss_events > 0
+        # The lazy buffer guarantees dirty contents at (at least) one loss.
+        assert result.dropped_subpages > 0
+        assert result.recovery_ms > 0
+        ftl.check_consistency()
+        assert_no_duplicate_bindings(ftl)
+
+    def test_torn_destages_are_replayed_or_dropped_never_both(self, scheme):
+        # Aggressive destaging (tiny delay) races flushes against losses,
+        # so torn flush spans hit the mount scan's replay path.
+        fe = lazy_frontend(writeback_delay_ms=0.5, buffer_subpages=8)
+        ftl, result = run_faulty(scheme, self.FAULTS, fe)
+        assert result.power_loss_events > 0
+        assert result.flushed_subpages > 0
+        ftl.check_consistency()
+        assert_no_duplicate_bindings(ftl)
+
+    def test_loss_outcome_is_deterministic(self, scheme):
+        first = run_faulty(scheme, self.FAULTS, lazy_frontend())[1]
+        second = run_faulty(scheme, self.FAULTS, lazy_frontend())[1]
+        assert first.deterministic_dict() == second.deterministic_dict()
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+class TestProgramFailuresUnderFlushSpans:
+    FAULTS = FaultConfig(program_fault_rate=0.05)
+
+    def test_remap_keeps_coalesced_spans_consistent(self, scheme):
+        ftl, result = run_faulty(scheme, self.FAULTS, lazy_frontend())
+        assert result.program_failures > 0
+        assert result.flushes > 0
+        ftl.check_consistency()
+        assert_no_duplicate_bindings(ftl)
+
+    def test_remap_outcome_is_deterministic(self, scheme):
+        first = run_faulty(scheme, self.FAULTS, lazy_frontend())[1]
+        second = run_faulty(scheme, self.FAULTS, lazy_frontend())[1]
+        assert first.deterministic_dict() == second.deterministic_dict()
+
+
+def test_rate_zero_faults_reproduce_the_fault_free_frontend():
+    """Attaching a disabled fault config must not perturb the front-end
+    path at all (the faults-side canonicalisation contract)."""
+    fe = lazy_frontend()
+    plain = FrontendSimulator(build_ftl("ipu"), fe).run(short_trace())
+    ftl = build_ftl("ipu")
+    attach_faults(ftl, FaultConfig.from_rate(0.0), seed=9)
+    injected = FrontendSimulator(ftl, fe).run(short_trace())
+    assert injected.deterministic_dict() == plain.deterministic_dict()
+    assert injected.dropped_subpages == 0
+    assert injected.power_loss_events == 0

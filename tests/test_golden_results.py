@@ -33,6 +33,22 @@ def test_golden_files_are_committed():
         f"expected the committed fig5/fig9 golden files in {GOLDEN_DIR}")
 
 
+def test_disabled_frontend_reproduces_golden_cells(smoke_matrix):
+    """A carried-but-disabled ``FrontendConfig`` must be the direct
+    replay path bit-for-bit: the golden cells reproduce exactly, not
+    just within tolerance."""
+    from repro.frontend import FrontendConfig
+
+    ctx = RunContext(scale="smoke", seed=1)
+    ctx.frontend = FrontendConfig()      # enabled=False
+    for cell in (("ts0", "ipu"), ("lun2", "baseline")):
+        assert ctx.run(*cell).deterministic_dict() == \
+            smoke_matrix[cell].deterministic_dict()
+        # And it is the same cache cell: disabled canonicalises to None.
+        assert ctx.cell_key(*cell) == \
+            RunContext(scale="smoke", seed=1).cell_key(*cell)
+
+
 @pytest.mark.parametrize("path", GOLDEN_FILES, ids=lambda p: p.stem)
 def test_smoke_cells_match_golden(path, smoke_matrix):
     golden = json.loads(path.read_text())
