@@ -25,6 +25,13 @@ _RANDOM_MODULES = frozenset({"random", "uuid"})
 _RANDOM_PREFIXES = ("random.", "uuid.", "np.random.", "numpy.random.")
 #: Exact dotted names that are findings on their own.
 _RANDOM_NAMES = frozenset({"os.urandom"})
+#: ``numpy.random`` generator constructors: building one of these outside
+#: ``rng.py`` creates a random stream the seed-derivation scheme cannot
+#: see, even when a seed is passed at the call site.
+_NUMPY_RNG_CONSTRUCTORS = frozenset({
+    "default_rng", "Generator", "RandomState",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
 
 
 class RandomnessRule(Rule):
@@ -32,8 +39,13 @@ class RandomnessRule(Rule):
 
     ``make_rng(seed, key)`` derives independent, reproducible streams;
     ``np.random.default_rng()`` (no seed), the ``random`` module,
-    ``os.urandom`` and ``uuid`` do not.  One stray call makes two replays
-    of the same cell disagree and poisons every cached artifact.
+    ``os.urandom`` and ``uuid`` do not.  Constructing a
+    ``numpy.random`` generator (``default_rng``/``Generator``/
+    ``RandomState``/bit generators) outside ``rng.py`` is flagged even
+    with an explicit seed: a stream built outside the derivation scheme
+    can collide with a derived stream or drift from the experiment key.
+    One stray source makes two replays of the same cell disagree and
+    poisons every cached artifact.
     """
 
     id = "D001"
@@ -45,7 +57,15 @@ class RandomnessRule(Rule):
     def check_file(self, src: SourceFile) -> Iterator[Violation]:
         if src.relpath in self.ALLOWED:
             return
+        numpy_aliases, rng_ctor_names = self._numpy_bindings(src.tree)
+        rng_prefixes = tuple(f"{a}.random." for a in numpy_aliases)
         for node in ast.walk(src.tree):
+            if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                    and node.func.id in rng_ctor_names):
+                yield self._v(
+                    src, node,
+                    f"construction of numpy.random generator "
+                    f"{rng_ctor_names[node.func.id]!r}")
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     top = alias.name.split(".")[0]
@@ -64,8 +84,35 @@ class RandomnessRule(Rule):
                 name = dotted_name(node)
                 if name is None:
                     continue
-                if name in _RANDOM_NAMES or name.startswith(_RANDOM_PREFIXES):
+                if (name in _RANDOM_NAMES or name.startswith(_RANDOM_PREFIXES)
+                        or name.startswith(rng_prefixes)):
                     yield self._v(src, node, f"use of {name!r}")
+
+    @staticmethod
+    def _numpy_bindings(
+            tree: ast.Module) -> "tuple[frozenset[str], dict[str, str]]":
+        """Numpy-derived local bindings the fixed prefixes cannot cover.
+
+        Returns ``(aliases, ctor_names)``: names bound to the numpy
+        package (``import numpy as X``), so ``X.random.Generator(...)``
+        is caught under any alias, and local names bound to a
+        ``numpy.random`` generator constructor (``from numpy.random
+        import default_rng as mk``) mapped back to the constructor they
+        alias, so the *call* is flagged too, not just the import line.
+        """
+        aliases: set[str] = set()
+        ctor_names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        aliases.add(alias.asname or "numpy")
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "") == "numpy.random":
+                    for alias in node.names:
+                        if alias.name in _NUMPY_RNG_CONSTRUCTORS:
+                            ctor_names[alias.asname or alias.name] = alias.name
+        return frozenset(aliases), ctor_names
 
     def _v(self, src: SourceFile, node: ast.AST, what: str) -> Violation:
         return Violation(

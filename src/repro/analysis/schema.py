@@ -228,6 +228,9 @@ _WATCHED_ATTRS = frozenset({
     "page_valid", "page_programmed", "pages_with_valid",
     "n_valid", "n_invalid", "n_programmed", "content_epoch",
     "programmed", "valid", "page_updated", "disturb_in", "disturb_nb",
+    # Structure-of-arrays additions: the slot→lsn binding column and the
+    # per-page python-int bitmask mirrors of programmed/valid.
+    "slot_lsn", "prog_mask", "valid_mask",
 })
 #: In-place mutator methods on lists/arrays/sets.
 _MUTATORS = frozenset({
@@ -250,13 +253,20 @@ def _watched_attribute(node: ast.AST) -> str | None:
 
 
 class BlockCounterWriteRule(Rule):
-    """S002: Block occupancy state is written only by ``nand/block.py``."""
+    """S002: Block/region occupancy state is written only by the flash
+    state kernel (``nand/block.py`` mutates, ``nand/state.py`` allocates
+    the backing region arrays)."""
 
     id = "S002"
-    title = "Block counter/subpage-state write outside nand/block.py"
+    title = "Block counter/subpage-state write outside the nand state kernel"
 
-    #: The one module that owns the state and notifies the watchers.
-    ALLOWED = frozenset({"nand/block.py"})
+    #: The modules that own the state and notify the watchers, plus the
+    #: pure-python specification twin (``nand/reference.py``): it keeps
+    #: the same attribute names by design so the differential suite can
+    #: drive both implementations with one interpreter, and it has no
+    #: watchers to desynchronize.
+    ALLOWED = frozenset({"nand/block.py", "nand/state.py",
+                         "nand/reference.py"})
 
     def check_file(self, src: SourceFile) -> Iterator[Violation]:
         if src.relpath in self.ALLOWED:
@@ -301,6 +311,6 @@ class BlockCounterWriteRule(Rule):
            how: str) -> Violation:
         return Violation(
             self.id, src.relpath, node.lineno, node.col_offset,
-            f"{how} watcher-maintained Block state {attr!r} outside "
-            f"nand/block.py — RegionCounters/VictimIndex would not see the "
-            f"change; go through Block.program/invalidate/erase")
+            f"{how} watcher-maintained Block state {attr!r} outside the "
+            f"nand state kernel — RegionCounters/VictimIndex would not see "
+            f"the change; go through Block.program/invalidate/erase")

@@ -20,6 +20,7 @@ from __future__ import annotations
 import cProfile
 import io
 import json
+import platform
 import pstats
 import time
 from pathlib import Path
@@ -29,25 +30,46 @@ from pathlib import Path
 DEFAULT_TRACES = ("ts0", "lun2")
 DEFAULT_SCHEMES = ("baseline", "mga", "ipu")
 
+#: Schemes additionally measured through the device front-end (write
+#: buffer + multi-queue scheduler), as ``<scheme>+frontend`` cells, so
+#: the front-end replay path sits under the same regression ratchet as
+#: the direct path.
+FRONTEND_SCHEMES = ("ipu",)
+
+#: Cell-name suffix marking a front-end-enabled measurement.
+FRONTEND_SUFFIX = "+frontend"
+
 #: Committed reference file at the repository root.
 BENCH_BASELINE = "BENCH_hotpath.json"
 
 
 def _run_cell(trace_name: str, scheme: str, scale: str, seed: int,
               repeats: int) -> dict:
-    """Best-of-``repeats`` wall time for one freshly-built cell."""
+    """Best-of-``repeats`` wall time for one freshly-built cell.
+
+    A scheme name ending in :data:`FRONTEND_SUFFIX` is replayed through
+    :class:`~repro.frontend.simulate.FrontendSimulator` (write buffer +
+    multi-queue scheduler enabled) instead of the direct path.
+    """
     from . import SCHEMES
     from .experiments.runner import RunContext
     from .sim.simulator import Simulator
 
+    frontend = scheme.endswith(FRONTEND_SUFFIX)
+    base_scheme = scheme[:-len(FRONTEND_SUFFIX)] if frontend else scheme
     ctx = RunContext(scale, seed)
     config = ctx.trace_config(trace_name)
     trace = ctx.trace(trace_name)
     best = float("inf")
     result = None
     for _ in range(max(1, repeats)):
-        ftl = SCHEMES[scheme](config)
-        sim = Simulator(ftl)
+        ftl = SCHEMES[base_scheme](config)
+        if frontend:
+            from .frontend.config import FrontendConfig
+            from .frontend.simulate import FrontendSimulator
+            sim = FrontendSimulator(ftl, FrontendConfig(enabled=True))
+        else:
+            sim = Simulator(ftl)
         t0 = time.perf_counter()
         result = sim.run(trace)
         best = min(best, time.perf_counter() - t0)
@@ -61,19 +83,48 @@ def _run_cell(trace_name: str, scheme: str, scale: str, seed: int,
     }
 
 
+def environment_info() -> dict:
+    """Interpreter/library/platform identity for cross-run comparability.
+
+    Stored in the bench payload so a committed baseline records *where*
+    its numbers were measured; the regression check stays ratio-based,
+    but a mismatching environment explains a surprising ratio.
+    """
+    import numpy as np
+
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
 def run_bench(scale: str = "smoke", seed: int = 1,
               traces: "tuple[str, ...]" = DEFAULT_TRACES,
               schemes: "tuple[str, ...]" = DEFAULT_SCHEMES,
-              repeats: int = 3) -> dict:
-    """Measure the full grid; returns the payload ``--json`` would write."""
+              repeats: int = 3,
+              frontend_schemes: "tuple[str, ...]" = FRONTEND_SCHEMES) -> dict:
+    """Measure the full grid; returns the payload ``--json`` would write.
+
+    ``frontend_schemes`` adds one ``<scheme>+frontend`` cell per trace,
+    replayed through the device front-end; pass an empty tuple to
+    measure the direct path only.  The aggregate covers direct cells
+    only, so its trajectory stays comparable across baselines that
+    added front-end cells later.
+    """
+    all_schemes = list(schemes) + [
+        s + FRONTEND_SUFFIX for s in frontend_schemes if s in schemes]
     cells = [_run_cell(t, s, scale, seed, repeats)
-             for t in traces for s in schemes]
-    total_requests = sum(c["n_requests"] for c in cells)
-    total_seconds = sum(c["wall_seconds"] for c in cells)
+             for t in traces for s in all_schemes]
+    direct = [c for c in cells if not c["scheme"].endswith(FRONTEND_SUFFIX)]
+    total_requests = sum(c["n_requests"] for c in direct)
+    total_seconds = sum(c["wall_seconds"] for c in direct)
     return {
         "scale": scale,
         "seed": seed,
         "repeats": repeats,
+        "environment": environment_info(),
         "cells": cells,
         "aggregate": {
             "n_requests": total_requests,
@@ -90,9 +141,16 @@ def profile_cell(trace_name: str, scheme: str, scale: str, seed: int,
     from .experiments.runner import RunContext
     from .sim.simulator import Simulator
 
+    frontend = scheme.endswith(FRONTEND_SUFFIX)
+    base_scheme = scheme[:-len(FRONTEND_SUFFIX)] if frontend else scheme
     ctx = RunContext(scale, seed)
-    ftl = SCHEMES[scheme](ctx.trace_config(trace_name))
-    sim = Simulator(ftl)
+    ftl = SCHEMES[base_scheme](ctx.trace_config(trace_name))
+    if frontend:
+        from .frontend.config import FrontendConfig
+        from .frontend.simulate import FrontendSimulator
+        sim = FrontendSimulator(ftl, FrontendConfig(enabled=True))
+    else:
+        sim = Simulator(ftl)
     trace = ctx.trace(trace_name)
     profiler = cProfile.Profile()
     profiler.enable()
@@ -108,12 +166,22 @@ def compare_to_baseline(current: dict, baseline: dict,
     """Regression report: one line per cell slower than allowed.
 
     A cell regresses when its ops/sec falls below
-    ``(1 - max_regression)`` of the baseline cell; cells present on only
-    one side are reported too (a silently dropped cell would otherwise
-    hide a regression).  Empty list == pass.
+    ``(1 - max_regression)`` of the baseline cell; the aggregate is held
+    to the same floor (a broad small slowdown can regress the aggregate
+    without any single cell tripping); cells present on only one side
+    are reported too (a silently dropped cell would otherwise hide a
+    regression).  Empty list == pass.
     """
     failures: list[str] = []
     floor = 1.0 - max_regression
+    base_agg = baseline.get("aggregate", {}).get("ops_per_sec")
+    cur_agg = current.get("aggregate", {}).get("ops_per_sec")
+    if base_agg and cur_agg:
+        ratio = cur_agg / base_agg
+        if ratio < floor:
+            failures.append(
+                f"aggregate: {cur_agg:.0f} ops/s vs baseline "
+                f"{base_agg:.0f} (x{ratio:.2f} < x{floor:.2f})")
     base_cells = {(c["trace"], c["scheme"]): c for c in baseline.get("cells", [])}
     cur_cells = {(c["trace"], c["scheme"]): c for c in current.get("cells", [])}
     for key, base in sorted(base_cells.items()):

@@ -19,14 +19,13 @@ obsolete — the paper's central observation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from ..nand.block import Block, BlockState
 from ..nand.geometry import PPA
 
 
-@dataclass(frozen=True)
-class IntraPagePlan:
+class IntraPagePlan(NamedTuple):
     """A feasible in-page update: where the new version will go."""
 
     block_id: int
@@ -66,7 +65,7 @@ def plan_intra_page_update(
         return None
     if block.state not in (BlockState.OPEN, BlockState.FULL):
         return None
-    if block.program_count[fpage] >= max_page_programs:
+    if block.pass_counts[fpage] >= max_page_programs:
         return None
     # Condition 3 without scanning the page: every mapping points at a
     # distinct currently-valid slot of the page, so the chunk covers the

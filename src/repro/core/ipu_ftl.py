@@ -85,14 +85,14 @@ class IPUFTL(BaseFTL):
     def _intra_page_update(self, chunk: list[int], plan, now: Ms) -> OpRecord:
         """Algorithm 1 lines 6-9: update inside the same page."""
         block = self.flash.block(plan.block_id)
-        invalidate = self.flash.invalidate
         unbind = self.subpage_map.unbind
         bind = self.subpage_map.bind
         block_id, page = plan.block_id, plan.page
         # Invalidate first: the partial pass then disturbs no live data
-        # inside the page.
-        for lsn, old_slot in zip(chunk, plan.old_slots):
-            invalidate(block_id, page, old_slot)
+        # inside the page.  All old slots live in the plan's page, so one
+        # batched call covers them.
+        self.flash.invalidate_many(block_id, page, list(plan.old_slots))
+        for lsn in chunk:
             unbind(lsn)
         op = self.program_subpages(block, page, list(plan.target_slots),
                                    chunk, now, Cause.HOST)
@@ -101,8 +101,9 @@ class IPUFTL(BaseFTL):
             # hotness mark belongs to the actual destination.
             block = self.flash.block(op.block_id)
             block_id, page = op.block_id, op.page
+        make = PPA._make  # skips the NamedTuple __new__ frame
         for lsn, slot in zip(chunk, plan.target_slots):
-            bind(lsn, PPA(block_id, page, slot))
+            bind(lsn, make((block_id, page, slot)))
         block.mark_page_updated(page)
         self.stats.intra_page_updates += 1
         self.stats.update_writes += 1
@@ -125,12 +126,14 @@ class IPUFTL(BaseFTL):
             self.stats.new_data_writes += 1
             target = BlockLevel.WORK
 
-        invalidate = self.flash.invalidate
         unbind = self.subpage_map.unbind
+        stale: dict[tuple[int, int], list[int]] = {}
         for lsn, m in zip(chunk, mappings):
             if m is not None:
-                invalidate(m.block, m.page, m.slot)
+                stale.setdefault((m.block, m.page), []).append(m.slot)
                 unbind(lsn)
+        for (old_block, old_page), old_slots in stale.items():
+            self.flash.invalidate_many(old_block, old_page, old_slots)
 
         res = self.alloc_slc_page(target, now, ops)
         if res is None:
@@ -145,8 +148,9 @@ class IPUFTL(BaseFTL):
             page = op.page
         bind = self.subpage_map.bind
         block_id = block.block_id
+        make = PPA._make
         for lsn, slot in zip(chunk, slots):
-            bind(lsn, PPA(block_id, page, slot))
+            bind(lsn, make((block_id, page, slot)))
         level = block.level if block.level is not None else 0
         self.stats.note_level_write(level)
         return ops
@@ -191,8 +195,7 @@ class IPUFTL(BaseFTL):
         relocated page must prove its hotness again before the next GC.
         """
         block, npage = dest
-        for s in slots:
-            self.flash.invalidate(victim.block_id, page, s)
+        self.flash.invalidate_many(victim.block_id, page, slots)
         new_slots = list(range(len(lsns)))
         op = self.program_subpages(block, npage, new_slots, lsns, now, cause)
         if op.block_id != block.block_id or op.page != npage:

@@ -66,6 +66,22 @@ class EccModel:
             return self.decode_ms(float(arr[0]))
         return self.decode_ms(float(arr.max()))
 
+    def decode_ms_list(self, rbers: "list[float]") -> Ms:
+        """Scalar fast path of :meth:`decode_ms_for_subpages` for python
+        float lists (the no-numpy read-pricing path).
+
+        ``max()`` over python floats returns the same IEEE double
+        ``float(np.asarray(rbers).max())`` would, so the result is
+        bit-identical to the array form for the same inputs.
+        """
+        n = len(rbers)
+        if n == 0:
+            return self._min
+        rber = rbers[0] if n == 1 else max(rbers)
+        lam = rber * self._cw_bits
+        frac = min(1.0, lam / self._t)
+        return self._min + self._span * frac
+
     def decode_ms_many(self, rbers: "np.ndarray | list[float]") -> np.ndarray:
         """Vectorised :meth:`decode_ms` over per-read RBERs.
 

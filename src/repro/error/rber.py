@@ -120,6 +120,35 @@ class RberModel:
             n_in.astype(np.float64) + ratio * n_nb.astype(np.float64)
         )
 
+    def rber_many(
+        self,
+        pe: float,
+        slc: bool,
+        n_in: np.ndarray,
+        n_nb: np.ndarray,
+        read_disturb: float = 0.0,
+    ) -> np.ndarray:
+        """Array RBER kernel: price many subpages of one block at once.
+
+        The disturb-count arrays come straight off the flat
+        :class:`~repro.nand.state.RegionState` counters (a GC drain span,
+        a flush span), so a whole relocation prices in one call.  The
+        expression is *operation-for-operation* the scalar fast path of
+        ``FlashArray.subpage_rbers`` — ``base + unit * (n_in + ratio *
+        n_nb)``, then ``+ read_disturb`` — over float64, so every element
+        is bit-identical to the per-slot scalar evaluation (int64 disturb
+        counts convert to float64 exactly).  ``read_disturb`` is the
+        caller's precomputed ``read_count * ratio * unit`` term.
+        """
+        unit = self.disturb_unit(pe)
+        ratio = self.config.neighbor_disturb_ratio
+        rbers = self.base(pe, slc) + unit * (
+            n_in.astype(np.float64) + ratio * n_nb.astype(np.float64)
+        )
+        if read_disturb:
+            rbers = rbers + read_disturb
+        return rbers
+
     # -- figure 2 helper ---------------------------------------------------
 
     def curve(self, pe_values: "list[float] | np.ndarray") -> dict[str, np.ndarray]:

@@ -170,9 +170,16 @@ class BaseFTL(abc.ABC):
         """
         self.stats.host_write_requests += 1
         self.stats.host_written_subpages += len(lsns)
-        ops = self._translate(lsns, write=True)
-        ops.extend(self.slc_gc.maybe_collect(now))
-        ops.extend(self.mlc_gc.maybe_collect(now))
+        ops = self._translate(lsns, write=True) if self.cmt is not None else []
+        # Inline duplicate of ``maybe_collect``'s do-nothing fast path:
+        # the trigger check runs twice per host request, and the usual
+        # answer is "no work" — skip the call frames entirely then.
+        gc = self.slc_gc
+        if gc._victim is not None or gc.allocator._free_count < gc._threshold:
+            ops.extend(gc.maybe_collect(now))
+        gc = self.mlc_gc
+        if gc._victim is not None or gc.allocator._free_count < gc._threshold:
+            ops.extend(gc.maybe_collect(now))
         ops.extend(self.write(lsns, now))
         faults = self.faults
         if faults is not None and faults.pending:
@@ -188,9 +195,15 @@ class BaseFTL(abc.ABC):
         """
         self.stats.host_read_requests += 1
         self.stats.host_read_subpages += len(lsns)
-        gc_ops = self._translate(lsns, write=False)
-        gc_ops.extend(self.slc_gc.maybe_collect(now))
-        gc_ops.extend(self.mlc_gc.maybe_collect(now))
+        gc_ops = (self._translate(lsns, write=False)
+                  if self.cmt is not None else [])
+        # Same inline trigger fast path as handle_write.
+        gc = self.slc_gc
+        if gc._victim is not None or gc.allocator._free_count < gc._threshold:
+            gc_ops.extend(gc.maybe_collect(now))
+        gc = self.mlc_gc
+        if gc._victim is not None or gc.allocator._free_count < gc._threshold:
+            gc_ops.extend(gc.maybe_collect(now))
         groups: dict[tuple[int, int], list[int]] = {}
         pseudo: list[int] = []
         for lsn in lsns:
@@ -203,30 +216,36 @@ class BaseFTL(abc.ABC):
         ops: list[OpRecord] = []
         faults = self.faults
         reclaims: list[tuple[int, int]] = []
+        flash = self.flash
         for (block_id, page), slots in groups.items():
             slots.sort()
-            rbers = self.flash.read(block_id, page, slots, now)
-            block = self.flash.block(block_id)
+            # Scalar pricing path: python floats end-to-end.  A group
+            # covers at most ``spp`` subpages, and for those sizes
+            # ``sum``/``max`` over python floats are bit-identical to the
+            # float64 array reductions the ndarray path used.
+            values = flash.read_list(block_id, page, slots, now)
+            block = flash.blocks[block_id]
+            # Positional construction: keyword binding on the record
+            # costs ~40% of the constructor on this path.
             ops.append(OpRecord(
-                kind=OpKind.READ, block_id=block_id, page=page,
-                n_slots=len(slots), is_slc=block.is_slc, cause=Cause.HOST,
-                ecc_ms=self.ecc.decode_ms_for_subpages(rbers),
-                raw_errors=float(rbers.sum()) * self._subpage_bits,
+                OpKind.READ, block_id, page, len(slots), block.is_slc,
+                Cause.HOST, 0, self.ecc.decode_ms_list(values),
+                sum(values) * self._subpage_bits,
             ))
             if faults is not None:
-                p_fail = self.ecc.uncorrectable_probability_for_subpages(rbers)
+                p_fail = self.ecc.uncorrectable_probability_for_subpages(values)
                 retries, reclaim = faults.read_outcome(p_fail)
                 for _ in range(retries):
                     # Each ladder rung re-senses the page; the host
                     # request waits for it (that is the latency
                     # degradation campaigns measure).
-                    retry_rbers = self.flash.read(block_id, page, slots, now)
+                    retry_values = flash.read_list(block_id, page, slots, now)
                     ops.append(OpRecord(
                         kind=OpKind.READ, block_id=block_id, page=page,
                         n_slots=len(slots), is_slc=block.is_slc,
                         cause=Cause.HOST,
-                        ecc_ms=self.ecc.decode_ms_for_subpages(retry_rbers),
-                        raw_errors=float(retry_rbers.sum()) * self._subpage_bits,
+                        ecc_ms=self.ecc.decode_ms_list(retry_values),
+                        raw_errors=sum(retry_values) * self._subpage_bits,
                     ))
                 if reclaim:
                     reclaims.append((block_id, page))
@@ -385,10 +404,10 @@ class BaseFTL(abc.ABC):
             block, page = self._fault_remap_program(
                 block, page, slots, lsns, now, cause)
         flash = self.flash
-        partial = block.program(page, slots, lsns, now, self._max_page_programs)
+        partial, disturbed = block.program_disturb(
+            page, slots, lsns, now, self._max_page_programs)
         slc = block.is_slc
         if partial:
-            disturbed = block.add_disturb(page, slots)
             flash.partial_programs += 1
             flash.disturbed_valid_subpages += disturbed
         if slc:
@@ -414,11 +433,8 @@ class BaseFTL(abc.ABC):
         # transfers only the written subpages (Figure 1).
         transfer = (len(slots) if self.uses_partial_programming
                     else self.geometry.subpages_per_page)
-        return OpRecord(
-            kind=OpKind.PROGRAM, block_id=block.block_id, page=page,
-            n_slots=len(slots), is_slc=slc, cause=cause,
-            transfer_slots=transfer,
-        )
+        return OpRecord(OpKind.PROGRAM, block.block_id, page,
+                        len(slots), slc, cause, transfer)
 
     # -- fault handling ----------------------------------------------------
 
@@ -500,8 +516,7 @@ class BaseFTL(abc.ABC):
             valid = [s for s in valid if s in wanted]
         if not valid:
             return []
-        lsn_row = block.slot_lsn[page].tolist()
-        lsns = [lsn_row[s] for s in valid]
+        lsns = block.slot_lsns(page, valid)
         relocate = (self._relocate_slc_page if block.is_slc
                     else self._relocate_mlc_page)
         ops = list(relocate(block, page, valid, lsns, now, Cause.FAULT))
@@ -524,16 +539,23 @@ class BaseFTL(abc.ABC):
         what lets IPU find all of a chunk's old data in a single physical
         page.
         """
+        if not lsns:
+            return []
         spp = self.geometry.subpages_per_page
+        if len(lsns) == 1:
+            return [list(lsns)]
+        first = lsns[0]
         chunks: list[list[int]] = []
-        current: list[int] = []
-        for lsn in lsns:
-            if current and lsn // spp != current[0] // spp:
+        current: list[int] = [first]
+        cur_lpn = first // spp
+        for lsn in lsns[1:]:
+            lpn = lsn // spp
+            if lpn != cur_lpn:
                 chunks.append(current)
                 current = []
+                cur_lpn = lpn
             current.append(lsn)
-        if current:
-            chunks.append(current)
+        chunks.append(current)
         return chunks
 
     # -- invariants (test support) ----------------------------------------------------

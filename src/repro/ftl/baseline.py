@@ -59,7 +59,7 @@ class BaselineFTL(BaseFTL):
         lookup = self.subpage_map.lookup
         unbind = self.subpage_map.unbind
         bind = self.subpage_map.bind
-        invalidate = self.flash.invalidate
+        invalidate_many = self.flash.invalidate_many
         stats = self.stats
         for chunk in self.chunks_by_lpn(lsns):
             write_lsns = chunk
@@ -83,10 +83,15 @@ class BaselineFTL(BaseFTL):
                 stats.slc_overflow_chunks += 1
             block, page = res
 
+            # Old versions of a positionally-written chunk usually share
+            # one physical page — invalidate them per page, not per slot.
+            stale: dict[tuple[int, int], list[int]] = {}
             for lsn, ppa in zip(write_lsns, mapped_old):
                 if ppa is not None:
-                    invalidate(ppa.block, ppa.page, ppa.slot)
+                    stale.setdefault((ppa.block, ppa.page), []).append(ppa.slot)
                     unbind(lsn)
+            for (old_block, old_page), old_slots in stale.items():
+                invalidate_many(old_block, old_page, old_slots)
 
             slots = [lsn % spp for lsn in write_lsns]
             op = self.program_subpages(block, page, slots, write_lsns,
@@ -98,8 +103,9 @@ class BaselineFTL(BaseFTL):
                 block = self.flash.block(op.block_id)
                 page = op.page
             block_id = block.block_id
+            make = PPA._make  # skips the NamedTuple __new__ frame
             for lsn, slot in zip(write_lsns, slots):
-                bind(lsn, PPA(block_id, page, slot))
+                bind(lsn, make((block_id, page, slot)))
             level = block.level if block.level is not None else 0
             stats.note_level_write(level)
         return ops
@@ -121,13 +127,13 @@ class BaselineFTL(BaseFTL):
             carry.append(lsn)
         for (block_id, page), slots in carriers.items():
             slots.sort()
-            rbers = self.flash.read(block_id, page, slots, now)
+            values = self.flash.read_list(block_id, page, slots, now)
             ops.append(OpRecord(
                 kind=OpKind.READ, block_id=block_id, page=page,
                 n_slots=len(slots),
                 is_slc=self.flash.block(block_id).is_slc,
                 cause=Cause.HOST,
-                ecc_ms=self.ecc.decode_ms_for_subpages(rbers),
+                ecc_ms=self.ecc.decode_ms_list(values),
             ))
             self.stats.rmw_read_ops += 1
         return carry
@@ -145,8 +151,7 @@ class BaselineFTL(BaseFTL):
         """
         ops: list[OpRecord] = []
         block, npage = self.alloc_mlc_page(now, ops, for_gc=True)
-        for s in slots:
-            self.flash.invalidate(victim.block_id, page, s)
+        self.flash.invalidate_many(victim.block_id, page, slots)
         op = self.program_subpages(block, npage, slots, lsns, now, cause)
         ops.append(op)
         if op.block_id != block.block_id or op.page != npage:

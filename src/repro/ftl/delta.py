@@ -100,7 +100,7 @@ class DeltaFTL(BaseFTL):
         if block.state not in (BlockState.OPEN, BlockState.FULL):
             return False
         page = first.page
-        if block.program_count[page] >= self.config.reliability.max_page_programs:
+        if block.pass_counts[page] >= self.config.reliability.max_page_programs:
             return False
 
         subpage = self.geometry.subpage_size
@@ -190,9 +190,8 @@ class DeltaFTL(BaseFTL):
             key = (op.block_id, op.page)
             if (op.kind is OpKind.READ and op.cause is Cause.HOST
                     and key in extra):
-                import dataclasses
-                op = dataclasses.replace(
-                    op, transfer_slots=op.channel_slots + extra.pop(key))
+                op = op._replace(
+                    transfer_slots=op.channel_slots + extra.pop(key))
             patched.append(op)
         return patched
 

@@ -20,6 +20,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from ..config import CacheConfig
 from ..error import EccModel
 from ..nand.block import Block, BlockState
@@ -181,6 +183,14 @@ class GarbageCollector:
         """
         victim = self._victim
         assert victim is not None
+        # Two-phase drain: gather this trigger's pages, price every read in
+        # one batched kernel, then replay the READ/relocate sequence in the
+        # original page order.  Byte-identical to the sequential loop: GC
+        # reads draw no fault samples, relocations program *other* blocks
+        # and only invalidate already-read victim pages, and the span
+        # kernel prices page ``k`` at ``read_count + k`` exactly as the
+        # one-read-per-page sequence would.
+        spans: list[tuple[int, list[int], list[int]]] = []
         moved = 0
         while self._drain_page < victim.next_page and moved < budget:
             page = self._drain_page
@@ -188,21 +198,29 @@ class GarbageCollector:
             slots = victim.valid_slots_of_page(page)
             if not slots:
                 continue
-            lsn_row = victim.slot_lsn[page].tolist()
-            lsns = [lsn_row[s] for s in slots]
-            rbers = self.flash.read(victim.block_id, page, slots, now)
-            ops.append(OpRecord(
-                kind=OpKind.READ,
-                block_id=victim.block_id,
-                page=page,
-                n_slots=len(slots),
-                is_slc=victim.is_slc,
-                cause=Cause.GC,
-                ecc_ms=self.ecc.decode_ms_for_subpages(rbers),
-            ))
-            ops.extend(self.relocate(victim, page, slots, lsns, now, Cause.GC))
-            self.stats.moved_subpages += len(slots)
+            spans.append((page, slots, victim.slot_lsns(page, slots)))
             moved += 1
+        if spans:
+            if len(spans) == 1:
+                page, slots, _ = spans[0]
+                values = self.flash.read_list(victim.block_id, page, slots, now)
+                span_ecc = [self.ecc.decode_ms_list(values)]
+            else:
+                rbers, offsets = self.flash.read_span(
+                    victim.block_id, [(p, s) for p, s, _ in spans], now)
+                # Per-span max then the vectorised decode: both are exact
+                # (reduceat max picks an element; decode_ms_many is
+                # elementwise float64), so each latency equals the scalar
+                # decode_ms_for_subpages of that span's reads.
+                maxes = np.maximum.reduceat(rbers, offsets)
+                span_ecc = self.ecc.decode_ms_many(maxes).tolist()
+            for (page, slots, lsns), ecc_ms in zip(spans, span_ecc):
+                ops.append(OpRecord(
+                    OpKind.READ, victim.block_id, page, len(slots),
+                    victim.is_slc, Cause.GC, 0, ecc_ms,
+                ))
+                ops.extend(self.relocate(victim, page, slots, lsns, now, Cause.GC))
+                self.stats.moved_subpages += len(slots)
 
         if self._drain_page >= victim.next_page:
             if self.finish is not None:
@@ -279,13 +297,13 @@ class GarbageCollector:
             slots = source.valid_slots_of_page(page)
             if not slots:
                 continue
-            lsns = [int(source.slot_lsn[page, s]) for s in slots]
-            rbers = self.flash.read(source.block_id, page, slots, now)
+            lsns = source.slot_lsns(page, slots)
+            values = self.flash.read_list(source.block_id, page, slots, now)
             ops.append(OpRecord(
                 kind=OpKind.READ, block_id=source.block_id, page=page,
                 n_slots=len(slots), is_slc=source.is_slc,
                 cause=Cause.WEAR,
-                ecc_ms=self.ecc.decode_ms_for_subpages(rbers),
+                ecc_ms=self.ecc.decode_ms_list(values),
             ))
             ops.extend(self.relocate(source, page, slots, lsns, now, Cause.WEAR))
         if self.finish is not None:

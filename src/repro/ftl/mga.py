@@ -102,7 +102,7 @@ class MGAFTL(BaseFTL):
             return None
         if page >= block.next_page:
             return None  # block was erased and reused
-        if block.program_count[page] >= self.config.reliability.max_page_programs:
+        if block.pass_counts[page] >= self.config.reliability.max_page_programs:
             return None
         free = block.free_slots_of_page(page)
         if not free:
@@ -157,7 +157,7 @@ class MGAFTL(BaseFTL):
                 # partial-programming feature) cannot continue there.
                 self._pack = None
             elif block.page_programmed[page] == block.spp or (
-                    block.program_count[page]
+                    block.pass_counts[page]
                     >= self.config.reliability.max_page_programs):
                 self._pack = None
             else:
@@ -188,8 +188,7 @@ class MGAFTL(BaseFTL):
     def _relocate_any(self, victim: Block, page: int, slots: list[int],
                       lsns: list[Lsn], now: Ms, cause: Cause) -> list[OpRecord]:
         """Queue valid subpages for packed eviction to the MLC region."""
-        for s in slots:
-            self.flash.invalidate(victim.block_id, page, s)
+        self.flash.invalidate_many(victim.block_id, page, slots)
         self._evict_buffer.extend(lsns)
         self._evict_pending.update(lsns)
         return []

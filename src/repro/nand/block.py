@@ -13,13 +13,31 @@ Subpage taxonomy used throughout:
 * **free** - never programmed since the last erase.  In a fully-programmed
   Baseline block free slots are wasted space (internal fragmentation); in an
   IPU block they are the landing zone for intra-page updates.
+
+Since the structure-of-arrays refactor a block owns no arrays of its
+own: all slot/page/block state lives in the flat per-region arrays of
+:class:`~repro.nand.state.RegionState`, and the ``programmed`` /
+``valid`` / ``slot_lsn`` / ... attributes here are numpy *views* into
+that store (standalone construction, used by unit tests, just builds a
+private single-block region).  Mutations go through flat item stores —
+profiling shows scalar stores beat both fancy indexing and masked array
+ops at ``spp`` = 4 granularity — and maintain, next to the arrays:
+
+* python-int **per-page bitmasks** (``prog_mask``/``valid_mask``) that
+  drive every hot membership/enumeration check without touching numpy,
+* scalar occupancy counters (``n_valid``/``page_valid``/...) feeding the
+  O(1) region stats and victim scores,
+* the region's per-block ``state_code``/``level``/``erase_count``
+  columns, mirrored at (rare) lifecycle transitions.
+
+:meth:`Block.verify_array_state` cross-checks every derived quantity
+against the authoritative arrays; ``FlashArray.verify_region_counters``
+calls it from the ``--verify`` consistency hook.
 """
 
 from __future__ import annotations
 
 import enum
-
-import numpy as np
 
 from ..errors import (
     EraseError,
@@ -28,10 +46,10 @@ from ..errors import (
     SubpageStateError,
 )
 from .cell import CellMode
+from .state import NO_LSN, RegionState
 from ..units import Lsn, Ms, PeCycles
 
-#: Sentinel stored in ``slot_lsn`` for a slot that never held data.
-NO_LSN: int = -1
+__all__ = ["NO_LSN", "Block", "BlockState", "BLOCK_STATE_CODES"]
 
 
 class BlockState(enum.Enum):
@@ -44,25 +62,43 @@ class BlockState(enum.Enum):
     RETIRED = "retired"  #: grown bad block, permanently out of service
 
 
-class Block:
-    """State of one physical block.
+#: Encoding of :class:`BlockState` in ``RegionState.state_code`` (FREE
+#: must stay 0: freshly-zeroed regions start all-free).
+BLOCK_STATE_CODES: dict[BlockState, int] = {
+    BlockState.FREE: 0,
+    BlockState.OPEN: 1,
+    BlockState.FULL: 2,
+    BlockState.VICTIM: 3,
+    BlockState.RETIRED: 4,
+}
 
-    Disturb and access-time arrays are only allocated for SLC-mode blocks;
-    native MLC blocks are always conventionally programmed exactly once per
-    page, so their reliability is captured by the base RBER curve alone.
+
+class Block:
+    """State of one physical block: a view over its region's arrays.
+
+    Disturb and access-time arrays only exist for SLC-mode regions;
+    native MLC blocks are always conventionally programmed exactly once
+    per page, so their reliability is captured by the base RBER curve
+    alone.
     """
 
     __slots__ = (
         "block_id", "mode", "is_slc", "pages", "spp", "erase_count", "next_page",
-        "state", "level", "programmed", "valid", "program_count",
+        "state", "level", "alloc_time",
+        "region", "region_slot", "_base", "_page_base",
+        "_slots_slice", "_pages_slice",
+        "programmed", "valid", "program_count",
         "slot_lsn", "slot_time", "slot_program_time", "disturb_in",
         "disturb_nb", "page_updated",
-        "n_valid", "n_invalid", "n_programmed", "alloc_time", "content_epoch",
-        "read_count", "page_valid", "page_programmed", "pages_with_valid",
-        "counters", "index",
+        "prog_mask", "valid_mask", "_set_slots", "_popcount", "_full_mask",
+        "n_valid", "n_invalid", "n_programmed", "content_epoch",
+        "read_count", "page_valid", "page_programmed", "pass_counts",
+        "pages_with_valid", "counters", "index",
     )
 
-    def __init__(self, block_id: int, mode: CellMode, pages: int, subpages_per_page: int):
+    def __init__(self, block_id: int, mode: CellMode, pages: int,
+                 subpages_per_page: int, region: RegionState | None = None,
+                 region_slot: int = 0):
         self.block_id = block_id
         self.mode = mode
         #: Cached ``mode.is_slc`` — the enum property is too hot to call
@@ -77,29 +113,66 @@ class Block:
         self.level: int | None = None
         self.alloc_time: Ms = 0.0
 
-        self.programmed = np.zeros((pages, subpages_per_page), dtype=bool)
-        self.valid = np.zeros((pages, subpages_per_page), dtype=bool)
-        self.program_count = np.zeros(pages, dtype=np.uint8)
-        self.slot_lsn = np.full((pages, subpages_per_page), NO_LSN, dtype=np.int64)
+        if region is None:
+            # Standalone construction (unit tests, scratch blocks): a
+            # private single-block region backs this block alone.
+            region = RegionState(1, pages, subpages_per_page, mode.is_slc)
+            region_slot = 0
+        elif (region.pages != pages or region.spp != subpages_per_page
+              or region.slc != mode.is_slc):
+            raise SubpageStateError(
+                f"block {block_id}: region geometry mismatch "
+                f"({region.pages}x{region.spp} slc={region.slc} vs "
+                f"{pages}x{subpages_per_page} slc={mode.is_slc})")
+        self.region = region
+        self.region_slot = region_slot
+        stride = region.block_stride
+        base = region_slot * stride
+        page_base = region_slot * pages
+        #: Flat offsets of this block inside the region arrays.
+        self._base = base
+        self._page_base = page_base
+        self._slots_slice = slice(base, base + stride)
+        self._pages_slice = slice(page_base, page_base + pages)
+
+        # Numpy views over this block's stripe of the region arrays
+        # (shared memory: a write through the flat store is immediately
+        # visible here and vice versa — there is no copy to go stale).
+        self.programmed = region.programmed[self._slots_slice].reshape(
+            pages, subpages_per_page)
+        self.valid = region.valid[self._slots_slice].reshape(
+            pages, subpages_per_page)
+        self.slot_lsn = region.slot_lsn[self._slots_slice].reshape(
+            pages, subpages_per_page)
+        self.program_count = region.program_count[self._pages_slice]
         if mode.is_slc:
-            self.slot_time = np.zeros((pages, subpages_per_page), dtype=np.float64)
+            self.slot_time = region.slot_time[self._slots_slice].reshape(
+                pages, subpages_per_page)
             #: Program time, never refreshed by reads (retention ages from
             #: here; ``slot_time`` is the last *access* Equation 2 uses).
-            self.slot_program_time = np.zeros((pages, subpages_per_page),
-                                              dtype=np.float64)
-            # Disturb counters live as plain nested lists: they take one
-            # increment per affected slot per partial pass and scalar
-            # int arithmetic beats numpy element access by an order of
-            # magnitude at subpage granularity.
-            self.disturb_in = [[0] * subpages_per_page for _ in range(pages)]
-            self.disturb_nb = [[0] * subpages_per_page for _ in range(pages)]
-            self.page_updated = np.zeros(pages, dtype=bool)
+            self.slot_program_time = region.slot_program_time[
+                self._slots_slice].reshape(pages, subpages_per_page)
+            self.disturb_in = region.disturb_in[self._slots_slice].reshape(
+                pages, subpages_per_page)
+            self.disturb_nb = region.disturb_nb[self._slots_slice].reshape(
+                pages, subpages_per_page)
+            self.page_updated = region.page_updated[self._pages_slice]
         else:
             self.slot_time = None
             self.slot_program_time = None
             self.disturb_in = None
             self.disturb_nb = None
             self.page_updated = None
+
+        #: Per-page python-int bitmasks of programmed/valid slots — the
+        #: hot-path mirror of the bool arrays (maintained in lock-step by
+        #: every mutation below; ``verify_array_state`` cross-checks).
+        self.prog_mask = [0] * pages
+        self.valid_mask = [0] * pages
+        tables = region.tables
+        self._set_slots = tables.set_slots
+        self._popcount = tables.popcount
+        self._full_mask = tables.full_mask
 
         self.n_valid = 0
         self.n_invalid = 0
@@ -116,6 +189,10 @@ class Block:
         #: Per-page count of programmed subpages — lets the disturb and
         #: partial-program checks skip re-summing ``programmed`` rows.
         self.page_programmed = [0] * pages
+        #: Python-int mirror of ``region.program_count`` for this block —
+        #: the pass-limit checks run per host chunk, where a list load
+        #: beats a numpy scalar load several times over.
+        self.pass_counts = [0] * pages
         self.pages_with_valid = 0
         #: Optional region-counter watcher (see
         #: :class:`repro.nand.flash.RegionCounters`); notified on
@@ -144,24 +221,26 @@ class Block:
         return self.total_subpages - self.n_valid
 
     def free_slots_of_page(self, page: int) -> list[int]:
-        """Unprogrammed slot indices of ``page`` (ascending)."""
-        if self.page_programmed[page] == self.spp:
-            return []
-        row = self.programmed[page].tolist()
-        return [s for s, hit in enumerate(row) if not hit]
+        """Unprogrammed slot indices of ``page`` (ascending), read off the
+        programmed bitmask (one table lookup, no array scan)."""
+        return list(self._set_slots[self._full_mask ^ self.prog_mask[page]])
 
     def valid_slots_of_page(self, page: int) -> list[int]:
         """Slot indices of ``page`` currently holding live data."""
-        if self.page_valid[page] == 0:
-            return []
-        row = self.valid[page].tolist()
-        return [s for s, hit in enumerate(row) if hit]
+        return list(self._set_slots[self.valid_mask[page]])
+
+    def slot_lsns(self, page: int, slots: list[int]) -> list[int]:
+        """The LSNs bound to ``slots`` of ``page`` as python ints (flat
+        item loads; the relocation paths consume these)."""
+        lsn_f = self.region.slot_lsn
+        jbase = self._base + page * self.spp
+        return [int(lsn_f[jbase + s]) for s in slots]
 
     def can_partial_program(self, page: int, nslots: int, max_programs: int) -> bool:
         """Whether ``nslots`` more subpages fit into ``page`` in one more pass."""
         if not 0 <= page < self.next_page:
             return False
-        if self.program_count[page] >= max_programs:
+        if self.pass_counts[page] >= max_programs:
             return False
         return self.spp - self.page_programmed[page] >= nslots
 
@@ -175,62 +254,102 @@ class Block:
         Raises on out-of-order initial programs, slot reuse, or exceeding
         the per-page program-pass limit.
         """
+        partial, _ = self.program_disturb(
+            page, slots, lsns, now, max_programs, apply_disturb=False)
+        return partial
+
+    def program_disturb(self, page: int, slots: list[int], lsns: list[Lsn],
+                        now: Ms, max_programs: int,
+                        apply_disturb: bool = True) -> "tuple[bool, int]":
+        """Fused program + disturb pass: one call per flash program.
+
+        Returns ``(partial, disturbed_valid)``.  When ``apply_disturb``
+        and the pass is partial, in-page/neighbour disturb bookkeeping is
+        applied in the same call (the write mask is already at hand), and
+        ``disturbed_valid`` counts the valid in-page subpages hit —
+        exactly what separate ``program`` + ``add_disturb`` calls did.
+        """
         n = len(slots)
         if n != len(lsns) or not n:
             raise SubpageStateError(
                 f"block {self.block_id}: slots/lsns mismatch ({slots} vs {lsns})")
-        if n > 1 and len(set(slots)) != n:
-            raise SubpageStateError(f"block {self.block_id}: duplicate slots {slots}")
         if self.state not in (BlockState.OPEN, BlockState.FULL):
             raise SubpageStateError(
                 f"block {self.block_id}: program while {self.state.value}")
 
         if page == self.next_page:
             partial = False
-            self.next_page += 1
         elif 0 <= page < self.next_page:
             partial = True
             if not self.is_slc:
                 raise SubpageStateError(
                     f"block {self.block_id}: partial programming requires SLC mode")
-            if self.program_count[page] >= max_programs:
+            if self.pass_counts[page] >= max_programs:
                 raise PartialProgramLimitError(
                     f"block {self.block_id} page {page}: "
-                    f"{self.program_count[page]} passes >= limit {max_programs}")
+                    f"{self.pass_counts[page]} passes >= limit {max_programs}")
         else:
             raise ProgramOrderError(
                 f"block {self.block_id}: page {page} programmed out of order "
                 f"(next free page is {self.next_page})")
 
-        row = self.programmed[page]
-        for slot in slots:
-            if not 0 <= slot < self.spp:
-                raise SubpageStateError(f"slot {slot} out of range [0, {self.spp})")
-            if row[slot]:
-                raise SubpageStateError(
-                    f"block {self.block_id} page {page} slot {slot}: already programmed")
+        spp = self.spp
+        pmask = self.prog_mask[page]
+        wmask = 0
+        try:
+            for slot in slots:
+                wmask |= 1 << slot
+        except ValueError:  # negative shift count
+            raise SubpageStateError(
+                f"slot {min(slots)} out of range [0, {spp})") from None
+        # One fused check replaces per-slot branching: a duplicate slot
+        # drops the popcount, an out-of-range slot overflows the page
+        # mask, and an already-programmed slot intersects pmask.
+        if wmask.bit_count() != n or wmask >> spp or pmask & wmask:
+            for slot in slots:
+                if not 0 <= slot < spp:
+                    raise SubpageStateError(
+                        f"slot {slot} out of range [0, {spp})")
+                if pmask >> slot & 1:
+                    raise SubpageStateError(
+                        f"block {self.block_id} page {page} slot {slot}: "
+                        f"already programmed")
+            raise SubpageStateError(
+                f"block {self.block_id}: duplicate slots {slots}")
+        if not partial:
+            # Deferred past the mask validation so a rejected program
+            # leaves the block untouched.
+            self.next_page += 1
 
-        # Scalar per-slot stores: a pass writes 1-4 subpages, where numpy
-        # fancy indexing costs far more than direct item assignment.
-        valid_row = self.valid[page]
-        lsn_row = self.slot_lsn[page]
+        # Scalar per-slot stores on the flat region arrays: a pass writes
+        # 1-4 subpages, where numpy fancy indexing costs far more than
+        # direct item assignment.
+        region = self.region
+        jbase = self._base + page * spp
+        programmed_f = region.programmed
+        valid_f = region.valid
+        lsn_f = region.slot_lsn
         if self.is_slc:
-            time_row = self.slot_time[page]
-            ptime_row = self.slot_program_time[page]
+            time_f = region.slot_time
+            ptime_f = region.slot_program_time
             for i in range(n):
-                slot = slots[i]
-                row[slot] = True
-                valid_row[slot] = True
-                lsn_row[slot] = lsns[i]
-                time_row[slot] = now
-                ptime_row[slot] = now
+                j = jbase + slots[i]
+                programmed_f[j] = True
+                valid_f[j] = True
+                lsn_f[j] = lsns[i]
+                time_f[j] = now
+                ptime_f[j] = now
         else:
             for i in range(n):
-                slot = slots[i]
-                row[slot] = True
-                valid_row[slot] = True
-                lsn_row[slot] = lsns[i]
-        self.program_count[page] += 1
+                j = jbase + slots[i]
+                programmed_f[j] = True
+                valid_f[j] = True
+                lsn_f[j] = lsns[i]
+        self.prog_mask[page] = pmask | wmask
+        self.valid_mask[page] |= wmask
+        n_passes = self.pass_counts[page] + 1
+        self.pass_counts[page] = n_passes
+        region.program_count[self._page_base + page] = n_passes
         self.n_programmed += n
         self.n_valid += n
         self.page_programmed[page] += n
@@ -241,17 +360,26 @@ class Block:
         became_full = self.next_page >= self.pages and self.state is BlockState.OPEN
         if became_full:
             self.state = BlockState.FULL
+            region.state_code[self.region_slot] = 2  # BLOCK_STATE_CODES[FULL]
         self.content_epoch += 1
+        # Watcher updates inlined (RegionCounters.note_program and
+        # VictimIndex.note_change/note_enter): one flash program per host
+        # chunk lands here, and the two method frames are measurable.
         counters = self.counters
         if counters is not None:
-            counters.note_program(n)
+            counters.programmed_subpages += n
+            counters.valid_subpages += n
         index = self.index
         if index is not None:
             if became_full:
-                index.note_enter(self)
-            else:
-                index.note_change(self.block_id)
-        return partial
+                index.members[self.block_id] = self
+                index.version += 1
+            elif self.block_id in index.members:
+                index.dirty.add(self.block_id)
+        disturbed = 0
+        if partial and apply_disturb:
+            disturbed = self._apply_disturb(page, wmask)
+        return partial, disturbed
 
     def reprogram_pass(self, page: int, max_programs: int) -> int:
         """A partial-program pass that appends bytes inside slots that are
@@ -266,24 +394,28 @@ class Block:
         if not 0 <= page < self.next_page:
             raise ProgramOrderError(
                 f"block {self.block_id}: reprogram of unwritten page {page}")
-        if self.program_count[page] >= max_programs:
+        if self.pass_counts[page] >= max_programs:
             raise PartialProgramLimitError(
                 f"block {self.block_id} page {page}: "
-                f"{self.program_count[page]} passes >= limit {max_programs}")
-        self.program_count[page] += 1
+                f"{self.pass_counts[page]} passes >= limit {max_programs}")
+        n_passes = self.pass_counts[page] + 1
+        self.pass_counts[page] = n_passes
+        self.region.program_count[self._page_base + page] = n_passes
         self.content_epoch += 1
         index = self.index
         if index is not None:
             index.note_change(self.block_id)
-        return self.add_disturb(page, [])
+        return self._apply_disturb(page, 0)
 
     def invalidate(self, page: int, slot: int) -> None:
         """Mark one live subpage obsolete."""
-        row = self.valid[page]
-        if not row[slot]:
+        bit = 1 << slot
+        vmask = self.valid_mask[page]
+        if not vmask & bit:
             raise SubpageStateError(
                 f"block {self.block_id} page {page} slot {slot}: not valid")
-        row[slot] = False
+        self.valid_mask[page] = vmask & ~bit
+        self.region.valid[self._base + page * self.spp + slot] = False
         self.n_valid -= 1
         self.n_invalid += 1
         remaining = self.page_valid[page] - 1
@@ -291,18 +423,63 @@ class Block:
         if remaining == 0:
             self.pages_with_valid -= 1
         self.content_epoch += 1
+        # Watcher updates inlined, as in program_disturb.
         counters = self.counters
         if counters is not None:
-            counters.note_invalidate()
+            counters.valid_subpages -= 1
+            counters.invalid_subpages += 1
         index = self.index
-        if index is not None:
-            index.note_change(self.block_id)
+        if index is not None and self.block_id in index.members:
+            index.dirty.add(self.block_id)
+
+    def invalidate_many(self, page: int, slots: list[int]) -> None:
+        """Invalidate several live subpages of one page in one pass.
+
+        Equivalent to ``invalidate(page, s)`` per slot (same counter and
+        epoch arithmetic, one watcher notification instead of ``len``).
+        """
+        k = len(slots)
+        if k == 1:
+            self.invalidate(page, slots[0])
+            return
+        if k == 0:
+            # Nothing to invalidate; falling through would treat the page
+            # as having just lost its last valid slot.
+            return
+        mask = 0
+        vmask = self.valid_mask[page]
+        for slot in slots:
+            bit = 1 << slot
+            if not vmask & bit or mask & bit:
+                raise SubpageStateError(
+                    f"block {self.block_id} page {page} slot {slot}: not valid")
+            mask |= bit
+        self.valid_mask[page] = vmask & ~mask
+        valid_f = self.region.valid
+        jbase = self._base + page * self.spp
+        for slot in slots:
+            valid_f[jbase + slot] = False
+        self.n_valid -= k
+        self.n_invalid += k
+        remaining = self.page_valid[page] - k
+        self.page_valid[page] = remaining
+        if remaining == 0:
+            self.pages_with_valid -= 1
+        self.content_epoch += k
+        counters = self.counters
+        if counters is not None:
+            counters.valid_subpages -= k
+            counters.invalid_subpages += k
+        index = self.index
+        if index is not None and self.block_id in index.members:
+            index.dirty.add(self.block_id)
 
     def mark_page_updated(self, page: int) -> None:
         """Record that the data resident in ``page`` was updated while the
         page lived in this block (drives IPU's GC-time hot/cold split)."""
-        if self.page_updated is not None:
-            self.page_updated[page] = True
+        region = self.region
+        if region.page_updated is not None:
+            region.page_updated[self._page_base + page] = True
             self.content_epoch += 1
             index = self.index
             if index is not None:
@@ -311,10 +488,11 @@ class Block:
     def touch(self, page: int, slots: list[int], now: Ms) -> None:
         """Refresh the last-access time of subpages (reads count as access
         for the coldness estimate of Equation 2)."""
-        if self.slot_time is not None:
-            row = self.slot_time[page]
+        time_f = self.region.slot_time
+        if time_f is not None:
+            jbase = self._base + page * self.spp
             for slot in slots:
-                row[slot] = now
+                time_f[jbase + slot] = now
 
     def add_disturb(self, page: int, written_slots: list[int]) -> int:
         """Apply program-disturb bookkeeping for one partial-program pass.
@@ -325,34 +503,36 @@ class Block:
         Returns the number of *valid* in-page subpages disturbed (the
         quantity IPU eliminates).
         """
-        if self.disturb_in is None:
+        if self.region.disturb_in is None:
             raise SubpageStateError("disturb tracking only exists for SLC-mode blocks")
-        written = set(written_slots)
-        hit_valid = 0
+        written = 0
+        for slot in written_slots:
+            written |= 1 << slot
+        return self._apply_disturb(page, written)
+
+    def _apply_disturb(self, page: int, written_mask: int) -> int:
+        """Disturb pass over the bitmasks: scalar int64 increments on the
+        flat counters, targets enumerated straight from the masks."""
+        region = self.region
+        set_slots = self._set_slots
         spp = self.spp
-        prow = self.programmed[page].tolist()
-        vrow = self.valid[page].tolist()
-        drow = self.disturb_in[page]
-        for slot in range(spp):
-            if slot in written or not prow[slot]:
-                continue
-            drow[slot] += 1
-            if vrow[slot]:
-                hit_valid += 1
-        nb = self.disturb_nb
-        page_programmed = self.page_programmed
+        hits = self.prog_mask[page] & ~written_mask
+        hit_valid = self._popcount[hits & self.valid_mask[page]]
+        if hits:
+            disturb_f = region.disturb_in
+            jbase = self._base + page * spp
+            for slot in set_slots[hits]:
+                disturb_f[jbase + slot] += 1
+        disturb_f = region.disturb_nb
+        next_page = self.next_page
+        prog_mask = self.prog_mask
         for npage in (page - 1, page + 1):
-            if 0 <= npage < self.next_page:
-                hit = page_programmed[npage]
-                nrow = nb[npage]
-                if hit == spp:
-                    for slot in range(spp):
-                        nrow[slot] += 1
-                elif hit:
-                    nprow = self.programmed[npage].tolist()
-                    for slot in range(spp):
-                        if nprow[slot]:
-                            nrow[slot] += 1
+            if 0 <= npage < next_page:
+                nmask = prog_mask[npage]
+                if nmask:
+                    jbase = self._base + npage * spp
+                    for slot in set_slots[nmask]:
+                        disturb_f[jbase + slot] += 1
         return hit_valid
 
     def erase(self) -> None:
@@ -372,22 +552,32 @@ class Block:
         self.next_page = 0
         self.state = BlockState.FREE
         self.level = None
-        self.programmed[:] = False
-        self.valid[:] = False
-        self.program_count[:] = 0
-        self.slot_lsn[:] = NO_LSN
+        region = self.region
+        slot = self.region_slot
+        region.erase_count[slot] = self.erase_count
+        region.state_code[slot] = 0  # BLOCK_STATE_CODES[FREE]
+        region.level[slot] = -1
+        slots_slice = self._slots_slice
+        pages_slice = self._pages_slice
+        region.programmed[slots_slice] = False
+        region.valid[slots_slice] = False
+        region.program_count[pages_slice] = 0
+        region.slot_lsn[slots_slice] = NO_LSN
         if self.is_slc:
-            self.slot_time[:] = 0.0
-            self.slot_program_time[:] = 0.0
-            self.disturb_in = [[0] * self.spp for _ in range(self.pages)]
-            self.disturb_nb = [[0] * self.spp for _ in range(self.pages)]
-            self.page_updated[:] = False
+            region.slot_time[slots_slice] = 0.0
+            region.slot_program_time[slots_slice] = 0.0
+            region.disturb_in[slots_slice] = 0
+            region.disturb_nb[slots_slice] = 0
+            region.page_updated[pages_slice] = False
+        zeros = [0] * self.pages
+        self.prog_mask[:] = zeros
+        self.valid_mask[:] = zeros
+        self.page_valid[:] = zeros
+        self.page_programmed[:] = zeros
+        self.pass_counts[:] = zeros
         self.n_valid = 0
         self.n_invalid = 0
         self.n_programmed = 0
-        for page in range(self.pages):
-            self.page_valid[page] = 0
-            self.page_programmed[page] = 0
         self.pages_with_valid = 0
         self.content_epoch += 1
         self.read_count = 0
@@ -405,6 +595,7 @@ class Block:
                 f"block {self.block_id}: retire while {self.state.value} "
                 f"(blocks retire from the just-erased FREE state)")
         self.state = BlockState.RETIRED
+        self.region.state_code[self.region_slot] = 4  # BLOCK_STATE_CODES[RETIRED]
         counters = self.counters
         if counters is not None:
             counters.note_retire()
@@ -417,6 +608,9 @@ class Block:
         self.state = BlockState.OPEN
         self.level = level
         self.alloc_time = now
+        region = self.region
+        region.state_code[self.region_slot] = 1  # BLOCK_STATE_CODES[OPEN]
+        region.level[self.region_slot] = level
         counters = self.counters
         if counters is not None:
             counters.note_open()
@@ -428,8 +622,62 @@ class Block:
         if index is not None:
             index.note_leave(self.block_id)
         self.state = BlockState.VICTIM
+        self.region.state_code[self.region_slot] = 3  # BLOCK_STATE_CODES[VICTIM]
+
+    # -- integrity ------------------------------------------------------
+
+    def verify_array_state(self) -> None:
+        """Assert every derived scalar/bitmask mirror agrees with the
+        authoritative region arrays (consistency-hook support)."""
+        pv = self.valid.sum(axis=1).tolist()
+        pp = self.programmed.sum(axis=1).tolist()
+        if self.page_valid != pv:
+            raise SubpageStateError(
+                f"block {self.block_id}: page_valid counters drifted")
+        if self.page_programmed != pp:
+            raise SubpageStateError(
+                f"block {self.block_id}: page_programmed counters drifted")
+        if self.pass_counts != self.program_count.tolist():
+            raise SubpageStateError(
+                f"block {self.block_id}: pass_counts mirror drifted from "
+                f"the program_count array")
+        for page in range(self.pages):
+            prow = int(sum(1 << s for s in range(self.spp)
+                           if self.programmed[page, s]))
+            vrow = int(sum(1 << s for s in range(self.spp)
+                           if self.valid[page, s]))
+            if self.prog_mask[page] != prow or self.valid_mask[page] != vrow:
+                raise SubpageStateError(
+                    f"block {self.block_id} page {page}: slot bitmasks "
+                    f"drifted from the programmed/valid arrays")
+        n_valid = int(self.valid.sum())
+        n_programmed = int(self.programmed.sum())
+        if (self.n_valid != n_valid or self.n_programmed != n_programmed
+                or self.n_invalid != n_programmed - n_valid):
+            raise SubpageStateError(
+                f"block {self.block_id}: occupancy counters drifted")
+        if self.pages_with_valid != sum(1 for v in pv if v):
+            raise SubpageStateError(
+                f"block {self.block_id}: pages_with_valid drifted")
+        region = self.region
+        slot = self.region_slot
+        if int(region.erase_count[slot]) != self.erase_count:
+            raise SubpageStateError(
+                f"block {self.block_id}: erase_count mirror drifted")
+        if int(region.state_code[slot]) != BLOCK_STATE_CODES[self.state]:
+            raise SubpageStateError(
+                f"block {self.block_id}: state_code mirror drifted "
+                f"({int(region.state_code[slot])} vs {self.state.value})")
+        expected_level = -1 if self.level is None else int(self.level)
+        if int(region.level[slot]) != expected_level:
+            raise SubpageStateError(
+                f"block {self.block_id}: level mirror drifted")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        # Counts come straight off the region arrays (ground truth), so a
+        # drifted derived counter is visible when debugging.
+        n_valid = int(self.valid.sum())
+        n_invalid = int(self.programmed.sum()) - n_valid
         return (f"Block({self.block_id}, {self.mode.value}, {self.state.value}, "
                 f"level={self.level}, next_page={self.next_page}, "
-                f"valid={self.n_valid}, invalid={self.n_invalid})")
+                f"valid={n_valid}, invalid={n_invalid})")

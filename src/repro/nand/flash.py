@@ -22,6 +22,7 @@ from ..errors import FlashError
 from .block import Block, BlockState
 from .cell import CellMode
 from .geometry import Geometry
+from .state import RegionState
 from ..units import Lsn, Ms
 
 if TYPE_CHECKING:
@@ -72,6 +73,12 @@ class RegionCounters:
         self.valid_subpages -= 1
         self.invalid_subpages += 1
 
+    def note_invalidate_many(self, n: int) -> None:
+        # Batched form of ``note_invalidate`` (integer adds commute, so
+        # one call for n slots is exactly n single-slot calls).
+        self.valid_subpages -= n
+        self.invalid_subpages += n
+
     def note_erase(self, block: Block) -> None:
         self.free_blocks += 1
         self.valid_subpages -= block.n_valid
@@ -101,12 +108,31 @@ class FlashArray:
         self.blocks: list[Block] = []
         self.slc_block_ids: list[int] = []
         self.mlc_block_ids: list[int] = []
+        modes = []
         for block_id in range(g.total_blocks):
             in_plane = block_id % g.blocks_per_plane
             mode = CellMode.SLC if in_plane < slc_per_plane else CellMode.MLC
-            pages = g.pages_per_block(mode.is_slc)
-            self.blocks.append(Block(block_id, mode, pages, g.subpages_per_page))
+            modes.append(mode)
             (self.slc_block_ids if mode.is_slc else self.mlc_block_ids).append(block_id)
+
+        # One structure-of-arrays store per region; every block is a thin
+        # view over its stripe (block ids are striped across planes, so a
+        # block's slot in its region is its rank among same-mode ids).
+        self.slc_state = RegionState(
+            len(self.slc_block_ids), g.pages_per_block(True),
+            g.subpages_per_page, slc=True)
+        self.mlc_state = RegionState(
+            len(self.mlc_block_ids), g.pages_per_block(False),
+            g.subpages_per_page, slc=False)
+        region_slots = {True: 0, False: 0}
+        for block_id in range(g.total_blocks):
+            mode = modes[block_id]
+            region = self.slc_state if mode.is_slc else self.mlc_state
+            slot = region_slots[mode.is_slc]
+            region_slots[mode.is_slc] = slot + 1
+            self.blocks.append(Block(
+                block_id, mode, g.pages_per_block(mode.is_slc),
+                g.subpages_per_page, region=region, region_slot=slot))
 
         self.slc_counters = RegionCounters([self.blocks[i] for i in self.slc_block_ids])
         self.mlc_counters = RegionCounters([self.blocks[i] for i in self.mlc_block_ids])
@@ -198,12 +224,10 @@ class FlashArray:
     ) -> ProgramResult:
         """Program subpages; applies disturb when the pass is partial."""
         block = self.blocks[block_id]
-        partial = block.program(
+        partial, disturbed = block.program_disturb(
             page, slots, lsns, now, self.config.reliability.max_page_programs
         )
-        disturbed = 0
         if partial:
-            disturbed = block.add_disturb(page, slots)
             self.partial_programs += 1
             self.disturbed_valid_subpages += disturbed
         if block.is_slc:
@@ -228,21 +252,139 @@ class FlashArray:
     def read(self, block_id: int, page: int, slots: list[int], now: Ms) -> np.ndarray:
         """Read subpages: returns their RBERs and refreshes access times."""
         block = self.blocks[block_id]
-        if block.page_programmed[page] != block.spp:
-            prow = block.programmed[page].tolist()
-            for slot in slots:
-                if not prow[slot]:
-                    raise FlashError(
-                        f"block {block_id} page {page} slot {slot}: "
-                        f"read of unwritten subpage")
+        pmask = block.prog_mask[page]
+        for slot in slots:
+            if not pmask >> slot & 1:
+                raise FlashError(
+                    f"block {block_id} page {page} slot {slot}: "
+                    f"read of unwritten subpage")
         rbers = self.subpage_rbers(block_id, page, slots, now=now)
         block.read_count += 1
         block.touch(page, slots, now)
         return rbers
 
+    def read_list(self, block_id: int, page: int, slots: list[int],
+                  now: Ms) -> "list[float]":
+        """Scalar fast path of :meth:`read`: RBERs as python floats.
+
+        Same checks and side effects; every value mirrors the
+        ``subpage_rbers`` arithmetic operation-for-operation over IEEE
+        doubles (python float arithmetic *is* elementwise float64), so
+        the list is bit-identical to the array form — without building
+        any array for the dominant 1–4 subpage read.
+        """
+        block = self.blocks[block_id]
+        pmask = block.prog_mask[page]
+        for slot in slots:
+            if not pmask >> slot & 1:
+                raise FlashError(
+                    f"block {block_id} page {page} slot {slot}: "
+                    f"read of unwritten subpage")
+        rel = self.config.reliability
+        pe = rel.initial_pe_cycles + block.erase_count
+        rber = self.rber
+        region = block.region
+        jbase = block._base + page * block.spp
+        if block.is_slc:
+            unit = rber.disturb_unit(pe)
+            extra = (block.read_count * rel.read_disturb_unit_ratio * unit
+                     if rel.read_disturb_unit_ratio else 0.0)
+            base = rber.base(pe, True)
+            ratio = rel.neighbor_disturb_ratio
+            disturb_in = region.disturb_in
+            disturb_nb = region.disturb_nb
+            time_f = region.slot_time
+            retention = rel.retention_unit_per_ms
+            values = []
+            for slot in slots:
+                j = jbase + slot
+                value = base + unit * (float(disturb_in[j])
+                                       + ratio * float(disturb_nb[j]))
+                value = value + extra
+                if retention:
+                    age = now - float(region.slot_program_time[j])
+                    value = value + max(age, 0.0) * retention * unit
+                values.append(value)
+                time_f[j] = now
+        else:
+            extra = (block.read_count * rel.read_disturb_unit_ratio
+                     * rber.disturb_unit(pe)
+                     if rel.read_disturb_unit_ratio else 0.0)
+            value = rber.base(pe, slc=False) + extra
+            values = [value] * len(slots)
+        block.read_count += 1
+        return values
+
+    def read_span(self, block_id: int, spans: "list[tuple[int, list[int]]]",
+                  now: Ms) -> "tuple[np.ndarray, list[int]]":
+        """Batched read pricing: several pages of one block in one kernel.
+
+        ``spans`` lists ``(page, slots)`` in read order; the return value
+        is the concatenated per-slot RBER array plus each page's start
+        offset into it.  Side effects and values match per-page
+        :meth:`read` calls in sequence exactly: access times refresh,
+        ``read_count`` advances once per page, and the read-disturb term
+        of page ``k`` is evaluated at ``read_count + k`` just as the
+        sequential loop would.  Only safe when nothing between the
+        sequential reads could change this block's disturb/retention
+        state — the GC drain qualifies (relocations touch *other*
+        blocks and only invalidate already-read pages of the victim).
+        """
+        block = self.blocks[block_id]
+        spp = block.spp
+        base_index = block._base
+        prog_mask = block.prog_mask
+        offsets: list[int] = []
+        flat: list[int] = []
+        for page, slots in spans:
+            pmask = prog_mask[page]
+            offsets.append(len(flat))
+            jbase = base_index + page * spp
+            for slot in slots:
+                if not pmask >> slot & 1:
+                    raise FlashError(
+                        f"block {block_id} page {page} slot {slot}: "
+                        f"read of unwritten subpage")
+                flat.append(jbase + slot)
+        j = np.array(flat, dtype=np.intp)
+        rel = self.config.reliability
+        pe = rel.initial_pe_cycles + block.erase_count
+        region = block.region
+        if block.is_slc:
+            rbers = self.rber.rber_many(
+                pe, True, region.disturb_in[j], region.disturb_nb[j])
+        else:
+            rbers = np.full(len(flat), self.rber.base(pe, slc=False),
+                            dtype=np.float64)
+        if rel.read_disturb_unit_ratio:
+            unit = self.rber.disturb_unit(pe)
+            read_count = block.read_count
+            end = len(flat)
+            for k in range(len(spans) - 1, -1, -1):
+                extra = (read_count + k) * rel.read_disturb_unit_ratio * unit
+                rbers[offsets[k]:end] = rbers[offsets[k]:end] + extra
+                end = offsets[k]
+        if block.is_slc:
+            if rel.retention_unit_per_ms:
+                ages = now - region.slot_program_time[j]
+                rbers = rbers + (np.maximum(ages, 0.0)
+                                 * rel.retention_unit_per_ms
+                                 * self.rber.disturb_unit(pe))
+            region.slot_time[j] = now
+        block.read_count += len(spans)
+        return rbers, offsets
+
     def invalidate(self, block_id: int, page: int, slot: int) -> None:
         """Invalidate one live subpage."""
         self.blocks[block_id].invalidate(page, slot)
+
+    def invalidate_many(self, block_id: int, page: int,
+                        slots: "list[int]") -> None:
+        """Invalidate several live subpages of one page in one pass.
+
+        Equivalent to invalidating each slot in sequence (the relocation
+        and rewrite hoists use it to skip the per-slot call frames)."""
+        self.blocks[block_id].invalidate_many(page, slots)
 
     def erase(self, block_id: int) -> int:
         """Erase a drained block; returns its new erase count.
@@ -300,9 +442,7 @@ class FlashArray:
                     f"region counters drifted ({'SLC' if slc else 'MLC'}): "
                     f"incremental {kept} != rescan {naive}")
             for b in blocks:
-                if b.page_programmed != b.programmed.sum(axis=1).tolist():
-                    raise FlashError(
-                        f"block {b.block_id}: page_programmed counters drifted")
-                if b.page_valid != b.valid.sum(axis=1).tolist():
-                    raise FlashError(
-                        f"block {b.block_id}: page_valid counters drifted")
+                # Per-block mirrors (page counters, slot bitmasks, the
+                # per-block columns of the region arrays) are checked by
+                # the block itself against its authoritative arrays.
+                b.verify_array_state()

@@ -10,7 +10,7 @@ the chip/channel resources.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from ..units import Ms
 
@@ -33,15 +33,13 @@ class Cause(enum.Enum):
     FAULT = "fault"        #: fault handling (read-reclaim, torn-page repair)
 
 
-@dataclass(slots=True)
-class OpRecord:
+class OpRecord(NamedTuple):
     """One physical flash operation to be priced and scheduled.
 
-    Treated as immutable by convention (``dataclasses.replace`` derives
-    patched copies); the class is not frozen because replay creates one
-    record per physical operation and the frozen ``__init__`` goes
-    through ``object.__setattr__`` per field — measurably slower on the
-    hot path for no behavioural gain.
+    A named tuple rather than a dataclass: replay creates one record per
+    physical operation and ``tuple.__new__`` is the cheapest constructor
+    CPython offers, while keeping records genuinely immutable
+    (``OpRecord._replace`` derives patched copies).
     """
 
     kind: OpKind
@@ -60,14 +58,6 @@ class OpRecord:
     #: Expected raw bit errors of the read (drives the error-rate metric).
     raw_errors: float = 0.0
 
-    def __post_init__(self) -> None:
-        if self.n_slots < 0:
-            raise ValueError(f"negative slot count {self.n_slots}")
-        if self.ecc_ms < 0 or self.raw_errors < 0:
-            raise ValueError("ECC time and raw errors must be non-negative")
-        if self.transfer_slots < 0:
-            raise ValueError("transfer_slots must be non-negative")
-
     @property
     def channel_slots(self) -> int:
         """Subpages actually moved over the channel."""
@@ -77,3 +67,20 @@ class OpRecord:
     def is_host(self) -> bool:
         """True when the op directly serves the host request."""
         return self.cause is Cause.HOST
+
+
+def _validating_new(cls, kind, block_id, page, n_slots, is_slc, cause,
+                    transfer_slots=0, ecc_ms=0.0, raw_errors=0.0):
+    # Single fused branch: the common case pays one comparison chain.
+    if n_slots < 0 or ecc_ms < 0.0 or raw_errors < 0.0:
+        raise ValueError(
+            f"negative OpRecord field: n_slots={n_slots} "
+            f"ecc_ms={ecc_ms} raw_errors={raw_errors}")
+    return tuple.__new__(cls, (kind, block_id, page, n_slots, is_slc,
+                               cause, transfer_slots, ecc_ms, raw_errors))
+
+
+# ``typing.NamedTuple`` rejects ``__new__`` in the class body, so the
+# validating constructor is attached afterwards (``_replace``/``_make``
+# bypass it by design — they re-shuffle already-validated records).
+OpRecord.__new__ = _validating_new  # type: ignore[method-assign]

@@ -103,3 +103,34 @@ class TestBench:
         missing = tmp_path / "nope.json"
         assert main(self.CELL + ["--check", "--baseline", str(missing)]) == 1
         assert "not found" in capsys.readouterr().out
+
+    def test_bench_check_detects_aggregate_regression(self, tmp_path, capsys):
+        import json
+
+        baseline = tmp_path / "bench.json"
+        assert main(self.CELL + ["--update", "--baseline", str(baseline)]) == 0
+        payload = json.loads(baseline.read_text())
+        # Cells stay honest; only the recorded aggregate was faster — a
+        # broad small slowdown shows up exactly like this.
+        payload["aggregate"]["ops_per_sec"] *= 100.0
+        baseline.write_text(json.dumps(payload))
+        assert main(self.CELL + ["--check", "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "regressed" in out and "aggregate" in out
+
+    def test_bench_payload_environment_and_frontend_cells(self):
+        import platform
+
+        from repro.bench import run_bench
+
+        payload = run_bench(scale="smoke", seed=1, traces=("lun2",),
+                            schemes=("ipu",), repeats=1)
+        env = payload["environment"]
+        assert env["python"] == platform.python_version()
+        assert set(env) >= {"python", "numpy", "platform", "machine"}
+        schemes = [c["scheme"] for c in payload["cells"]]
+        assert schemes == ["ipu", "ipu+frontend"]
+        # The aggregate covers direct cells only, so its trajectory is
+        # comparable with pre-frontend baselines.
+        direct = next(c for c in payload["cells"] if c["scheme"] == "ipu")
+        assert payload["aggregate"]["n_requests"] == direct["n_requests"]

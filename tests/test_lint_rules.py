@@ -114,6 +114,71 @@ def test_d001_allows_rng_module_itself(tmp_path):
     assert "D001" not in rules
 
 
+def test_d001_flags_seeded_generator_construction(tmp_path):
+    """An explicit seed does not excuse the construction: the stream
+    still bypasses the make_rng key-derivation scheme."""
+    rules, _ = lint_snippet(tmp_path, "traces/synth.py", """
+        import numpy as np
+
+        def streams(seed):
+            return np.random.Generator(np.random.PCG64(seed))
+        """)
+    assert "D001" in rules
+
+
+def test_d001_flags_generator_under_numpy_alias(tmp_path):
+    """``import numpy as anything`` is tracked, not just ``np``."""
+    rules, _ = lint_snippet(tmp_path, "core/model.py", """
+        import numpy as xp
+
+        def roll(seed):
+            return xp.random.default_rng(seed).integers(10)
+        """)
+    assert "D001" in rules
+
+
+def test_d001_flags_imported_constructor_call(tmp_path):
+    """Both the from-import and the aliased construction are findings."""
+    rules, _ = lint_snippet(tmp_path, "ftl/gc.py", """
+        from numpy.random import default_rng as mk
+
+        def roll(seed):
+            return mk(seed).integers(10)
+        """)
+    assert rules.count("D001") >= 2  # the import and the construction
+
+
+def test_d001_flags_legacy_randomstate(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "sim/noise.py", """
+        import numpy as np
+
+        def legacy(seed):
+            return np.random.RandomState(seed)
+        """)
+    assert "D001" in rules
+
+
+def test_d001_good_numpy_array_use_not_flagged(tmp_path):
+    """Plain numpy (non-random) use under an alias stays clean."""
+    rules, _ = lint_snippet(tmp_path, "nand/state.py", """
+        import numpy as xp
+
+        def zeros(n):
+            return xp.zeros(n, dtype=xp.int64)
+        """)
+    assert "D001" not in rules
+
+
+def test_d001_rng_module_may_construct_generators(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "rng.py", """
+        from numpy.random import PCG64, Generator
+
+        def make_rng(seed):
+            return Generator(PCG64(seed))
+        """)
+    assert "D001" not in rules
+
+
 # --------------------------------------------------------------------------
 # D002 — wall clock
 
