@@ -14,13 +14,24 @@ Machine-checks the repository's simulation contracts (see
 ``U001``  mixed-unit arithmetic (ms vs bytes vs counts)
 ``U002``  address-space confusion (lsn/lpn/ppn interchange)
 ``U003``  unconverted or double-converted unit boundary crossings
+``M001``  state write reachable before a raise-capable validation
+          (torn state on the exception path)
+``M002``  ``Block`` scalar mirror / ``RegionState`` column written
+          without its lock-step partner
+``N001``  dtype-less or narrow-float numpy construction in a
+          byte-identity-gated module
+``N002``  order-dependent reduction in a byte-identity-gated module
 ========  ==========================================================
 
-The U-family is interprocedural: a project-wide call graph
-(:mod:`repro.analysis.callgraph`) and a unit-inference engine
-(:mod:`repro.analysis.units_flow`) propagate dimension facts from the
-``repro.units`` ``Annotated`` vocabulary and naming conventions through
-assignments, arithmetic, returns, and call edges.
+The U- and M-families are interprocedural: a project-wide call graph
+(:mod:`repro.analysis.callgraph`) feeds a unit-inference engine
+(:mod:`repro.analysis.units_flow`) that propagates dimension facts from
+the ``repro.units`` ``Annotated`` vocabulary through assignments,
+arithmetic, returns, and call edges, and an effect/exception pass
+(:mod:`repro.analysis.effects`) that propagates which state each
+function writes and which paths can raise.  The N-family
+(:mod:`repro.analysis.numpy_rules`) is per-file but gated to the
+modules whose outputs the golden pins diff byte-for-byte.
 
 Pure standard library (``ast`` + ``json``): importable and runnable even
 where numpy is not, and adding a rule cannot perturb simulation results.
@@ -45,6 +56,8 @@ from .core import (
     run_lint,
 )
 from .determinism import RandomnessRule, SetIterationRule, WallClockRule
+from .effects import MirrorColumnPairRule, TornStateWriteRule
+from .numpy_rules import DtypeDisciplineRule, ReductionOrderRule
 from .schema import (
     BlockCounterWriteRule,
     SchemaDriftRule,
@@ -70,6 +83,10 @@ ALL_RULES: tuple[Rule, ...] = (
     MixedUnitArithmeticRule(),
     AddressSpaceConfusionRule(),
     LossyBoundaryCrossingRule(),
+    TornStateWriteRule(),
+    MirrorColumnPairRule(),
+    DtypeDisciplineRule(),
+    ReductionOrderRule(),
 )
 
 #: ``{rule_id: rule}`` lookup.
@@ -81,6 +98,10 @@ __all__ = [
     "AddressSpaceConfusionRule",
     "LossyBoundaryCrossingRule",
     "MixedUnitArithmeticRule",
+    "TornStateWriteRule",
+    "MirrorColumnPairRule",
+    "DtypeDisciplineRule",
+    "ReductionOrderRule",
     "BASELINE_NAME",
     "BaselineMatch",
     "LintResult",

@@ -143,6 +143,40 @@ def _base_name(expr: ast.expr) -> str | None:
     return None
 
 
+def annotation_class_name(node: ast.expr | None) -> str | None:
+    """Class name an annotation pins a value to, if any.
+
+    Handles the shapes used in this codebase: ``Block``, ``"Block"``
+    (string annotations under ``from __future__ import annotations``),
+    ``Block | None`` and ``Optional[Block]``.  Unions of two real
+    classes, containers, and anything fancier yield ``None`` — the
+    effect pass would rather drop a call edge than guess one.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        sides = [s for s in (node.left, node.right)
+                 if not (isinstance(s, ast.Constant) and s.value is None)]
+        if len(sides) == 1:
+            return annotation_class_name(sides[0])
+        return None
+    if isinstance(node, ast.Subscript):
+        if (annotation_class_name(node.value) == "Optional"
+                and not isinstance(node.slice, ast.Tuple)):
+            return annotation_class_name(node.slice)
+        return None
+    return None
+
+
 class ProjectIndex:
     """Symbol table + call graph over one linted tree."""
 
@@ -371,3 +405,22 @@ class ProjectIndex:
                 and isinstance(value.func, ast.Name)):
             return self.resolve_class_name(value.func.id, module)
         return None
+
+    def param_types(self, fn: FunctionInfo,
+                    module: ModuleInfo) -> dict[str, ClassInfo]:
+        """Parameter name -> instance class, from ``p: Cls`` annotations.
+
+        Seeds the ``local_types`` mapping of :meth:`resolve_call` so
+        ``block.retire()`` resolves inside a function that takes
+        ``block: Block`` — the effect/exception pass needs those edges
+        to propagate raise/write facts through free functions.
+        """
+        out: dict[str, ClassInfo] = {}
+        for name, ann in zip(fn.params, fn.param_annotations):
+            cls_name = annotation_class_name(ann)
+            if cls_name is None:
+                continue
+            cls = self.resolve_class_name(cls_name, module)
+            if cls is not None:
+                out[name] = cls
+        return out

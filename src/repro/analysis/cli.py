@@ -58,8 +58,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--root", metavar="DIR",
                         help="repository root, or a bare directory of "
                              "Python files (default: auto-detect)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="report format (default: text)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="report format (default: text); sarif emits "
+                             "SARIF 2.1.0 for GitHub code scanning")
+    parser.add_argument("--output", metavar="PATH",
+                        help="write the report to PATH instead of stdout "
+                             "(stdout keeps a one-line summary)")
     parser.add_argument("--select", metavar="RULES",
                         help="comma-separated rule ids (U001) and/or "
                              "family prefixes (U = every U-rule) to run "
@@ -77,7 +82,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
 def cmd_lint(args: argparse.Namespace) -> int:
     """Entry point for ``repro-ssd lint``."""
     from . import ALL_RULES
-    from .report import render_json, render_text
+    from .report import render_json, render_sarif, render_text
 
     if args.list_rules:
         for rule in ALL_RULES:
@@ -120,6 +125,26 @@ def cmd_lint(args: argparse.Namespace) -> int:
             return 2
     match = apply_baseline(result.violations, entries)
 
-    render = render_json if args.format == "json" else render_text
-    print(render(result, match))
+    if args.format == "sarif":
+        # Violation paths are package-root-relative; rebase them onto
+        # the repo root so code-scanning annotations land on the files.
+        prefix = ""
+        if repo_root is not None and package_root != repo_root:
+            try:
+                prefix = package_root.relative_to(repo_root).as_posix() + "/"
+            except ValueError:
+                prefix = ""
+        report = render_sarif(result, match, uri_prefix=prefix)
+    elif args.format == "json":
+        report = render_json(result, match)
+    else:
+        report = render_text(result, match)
+
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        print(f"lint: wrote {args.format} report to {args.output} "
+              f"({len(match.new)} new, {len(match.baselined)} baselined, "
+              f"{len(match.stale)} stale)")
+    else:
+        print(report)
     return 1 if (match.new or match.stale) else 0

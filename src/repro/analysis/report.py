@@ -1,4 +1,4 @@
-"""Text and JSON reporters for ``repro-ssd lint``."""
+"""Text, JSON and SARIF reporters for ``repro-ssd lint``."""
 
 from __future__ import annotations
 
@@ -6,6 +6,10 @@ import json
 
 from .baseline import BaselineMatch
 from .core import LintResult, Violation
+
+#: SARIF 2.1.0 — the format GitHub code scanning ingests.
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
 
 
 def render_text(result: LintResult, match: BaselineMatch) -> str:
@@ -49,5 +53,75 @@ def render_json(result: LintResult, match: BaselineMatch) -> str:
         "baselined": len(match.baselined),
         "stale": len(match.stale),
         "ok": not match.new and not match.stale,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_result(v: Violation, rule_index: dict[str, int],
+                  baselined: bool, uri_prefix: str) -> dict:
+    result: dict = {
+        "ruleId": v.rule,
+        # Baselined findings are accepted debt: keep them visible in the
+        # scan without failing required code-scanning checks.
+        "level": "note" if baselined else "error",
+        "message": {"text": v.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": f"{uri_prefix}{v.path}",
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {
+                    "startLine": max(v.line, 1),
+                    "startColumn": v.col + 1,  # SARIF columns are 1-based
+                },
+            },
+        }],
+        "partialFingerprints": {"reproLint/v1": v.fingerprint},
+    }
+    idx = rule_index.get(v.rule)
+    if idx is not None:
+        result["ruleIndex"] = idx
+    return result
+
+
+def render_sarif(result: LintResult, match: BaselineMatch,
+                 uri_prefix: str = "") -> str:
+    """SARIF 2.1.0 report, for GitHub code-scanning upload.
+
+    ``uri_prefix`` rebases violation paths (relative to the linted
+    package root) onto the repository root — ``"src/repro/"`` in the
+    normal invocation — so annotations land on the right files.  Stale
+    baseline entries have no code location and are not representable as
+    SARIF results; they still fail the exit code, and the text/JSON
+    reporters list them.
+    """
+    from . import RULES_BY_ID  # late import: rules import this package
+
+    rule_index = {rid: i for i, rid in enumerate(result.rules_run)}
+    rules = []
+    for rid in result.rules_run:
+        rule = RULES_BY_ID.get(rid)
+        descriptor: dict = {"id": rid}
+        if rule is not None and rule.title:
+            descriptor["shortDescription"] = {"text": rule.title}
+        rules.append(descriptor)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-ssd-lint",
+                    "rules": rules,
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": (
+                [_sarif_result(v, rule_index, False, uri_prefix)
+                 for v in match.new]
+                + [_sarif_result(v, rule_index, True, uri_prefix)
+                   for v in match.baselined]),
+        }],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

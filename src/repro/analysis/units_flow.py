@@ -62,6 +62,17 @@ VOCAB_UNITS: dict[str, str] = {
     "PeCycles": "pe",
 }
 
+#: Array-column alias name -> *element* unit fact.  The aliases wrap
+#: ``Any`` (columns are ndarrays or ``None``), so they parse as
+#: containers whose elements carry the unit — ``region.slot_time[j]``
+#: reads as ms without asserting anything about the array object.
+VOCAB_ELEMS: dict[str, str] = {
+    "MsArray": "ms",
+    "LsnArray": "lsn",
+    "PeCyclesArray": "pe",
+    "SubpageCountArray": "subpages",
+}
+
 ADDRESS_SPACES = frozenset({"lsn", "lpn", "ppn"})
 
 #: Unit pairs related by a known scale factor: mixing them is a missed
@@ -187,6 +198,8 @@ def parse_annotation(node: ast.expr | None) -> AnnInfo:
     name = _ann_name(node)
     if name in VOCAB_UNITS:
         return AnnInfo("unit", unit=VOCAB_UNITS[name])
+    if name in VOCAB_ELEMS:
+        return AnnInfo("container", elem=VOCAB_ELEMS[name])
     if name in _SCALAR_ANNOTATIONS:
         return AnnInfo("scalar")
     if name == "range":

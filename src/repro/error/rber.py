@@ -154,6 +154,8 @@ class RberModel:
     def curve(self, pe_values: "list[float] | np.ndarray") -> dict[str, np.ndarray]:
         """Conventional and partial RBER curves over ``pe_values`` (Fig. 2)."""
         pes = np.asarray(pe_values, dtype=np.float64)
-        conventional = np.array([self.base(p, slc=True) for p in pes])
-        partial = np.array([self.partial_typical(p) for p in pes])
+        conventional = np.array([self.base(p, slc=True) for p in pes],
+                                dtype=np.float64)
+        partial = np.array([self.partial_typical(p) for p in pes],
+                           dtype=np.float64)
         return {"pe": pes, "conventional": conventional, "partial": partial}

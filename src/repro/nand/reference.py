@@ -28,7 +28,7 @@ from ..errors import (
 from .block import BlockState
 from .cell import CellMode
 from .state import NO_LSN
-from ..units import Lsn, Ms
+from ..units import Lsn, Ms, PeCycles, Ppn, SubpageCount
 
 __all__ = ["ReferenceBlock"]
 
@@ -40,6 +40,16 @@ class ReferenceBlock:
     lists, occupancy counters are recomputed-by-increment with no bitmask
     shortcuts, and the disturb pass walks slots with explicit loops.
     """
+
+    # Unit vocabulary for the dimensioned state (``repro.units``): the
+    # same facts the kernel's ``RegionState`` columns carry, in nested
+    # per-page list form.
+    erase_count: PeCycles
+    next_page: Ppn
+    alloc_time: Ms
+    slot_lsn: "list[list[Lsn]]"
+    slot_time: "list[list[Ms]] | None"
+    slot_program_time: "list[list[Ms]] | None"
 
     def __init__(self, block_id: int, mode: CellMode, pages: int,
                  subpages_per_page: int):
@@ -79,15 +89,15 @@ class ReferenceBlock:
     # -- derived quantities (recomputed, never cached) -------------------
 
     @property
-    def n_valid(self) -> int:
+    def n_valid(self) -> SubpageCount:
         return sum(sum(row) for row in self.valid)
 
     @property
-    def n_programmed(self) -> int:
+    def n_programmed(self) -> SubpageCount:
         return sum(sum(row) for row in self.programmed)
 
     @property
-    def n_invalid(self) -> int:
+    def n_invalid(self) -> SubpageCount:
         return self.n_programmed - self.n_valid
 
     @property
@@ -103,7 +113,7 @@ class ReferenceBlock:
         return sum(1 for row in self.valid if any(row))
 
     @property
-    def total_subpages(self) -> int:
+    def total_subpages(self) -> SubpageCount:
         return self.pages * self.spp
 
     @property
@@ -111,7 +121,7 @@ class ReferenceBlock:
         return self.next_page >= self.pages
 
     @property
-    def reclaimable_subpages(self) -> int:
+    def reclaimable_subpages(self) -> SubpageCount:
         return self.total_subpages - self.n_valid
 
     def free_slots_of_page(self, page: int) -> list[int]:
@@ -120,7 +130,7 @@ class ReferenceBlock:
     def valid_slots_of_page(self, page: int) -> list[int]:
         return [s for s in range(self.spp) if self.valid[page][s]]
 
-    def slot_lsns(self, page: int, slots: list[int]) -> list[int]:
+    def slot_lsns(self, page: int, slots: list[int]) -> "list[Lsn]":
         return [self.slot_lsn[page][s] for s in slots]
 
     def can_partial_program(self, page: int, nslots: int,

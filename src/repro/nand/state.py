@@ -51,6 +51,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..units import LsnArray, MsArray, PeCyclesArray
+
 #: Sentinel stored in ``slot_lsn`` for a slot that never held data.
 NO_LSN: int = -1
 
@@ -104,6 +106,14 @@ class RegionState:
         "erase_count", "state_code", "level",
         "tables",
     )
+
+    # Unit vocabulary for the dimensioned columns (bare annotations are
+    # ``__slots__``-compatible; the unit checker reads the element
+    # dimension through them — see ``repro.units``).
+    slot_lsn: LsnArray
+    slot_time: MsArray
+    slot_program_time: MsArray
+    erase_count: PeCyclesArray
 
     def __init__(self, n_blocks: int, pages: int, spp: int, slc: bool):
         self.n_blocks = n_blocks

@@ -20,7 +20,7 @@ costs nothing.
 
 from __future__ import annotations
 
-from typing import Annotated, TypeAlias
+from typing import Annotated, Any, TypeAlias
 
 
 class Unit:
@@ -57,6 +57,21 @@ Ppn: TypeAlias = Annotated[int, Unit("ppn")]
 SubpageCount: TypeAlias = Annotated[int, Unit("subpages")]
 #: Program/erase cycle count (wear).
 PeCycles: TypeAlias = Annotated[int, Unit("pe")]
+
+# Array-column vocabulary: the structure-of-arrays kernel
+# (``nand/state.py``) stores whole columns of the scalar units above.
+# The underlying type is ``Any`` on purpose — columns are numpy arrays
+# (or ``None`` for region variants that do not track them), and the
+# unit checker only consumes the *element* dimension.
+
+#: Column of per-slot timestamps in milliseconds (float64).
+MsArray: TypeAlias = Annotated[Any, Unit("ms[]")]
+#: Column of logical subpage numbers (int64; ``NO_LSN`` sentinel).
+LsnArray: TypeAlias = Annotated[Any, Unit("lsn[]")]
+#: Column of program/erase cycle counts (int64).
+PeCyclesArray: TypeAlias = Annotated[Any, Unit("pe[]")]
+#: Column of 4 KiB subpage counts.
+SubpageCountArray: TypeAlias = Annotated[Any, Unit("subpages[]")]
 
 KIB: int = 1024
 MIB: int = 1024 * KIB

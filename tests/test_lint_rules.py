@@ -696,3 +696,363 @@ def test_select_mixes_ids_and_prefixes(tmp_path):
 def test_select_unknown_prefix_raises(tmp_path):
     with pytest.raises(ValueError, match="unknown rule"):
         run_lint(tmp_path, select=["Q"])
+
+
+# --------------------------------------------------------------------------
+# M001 — state write reachable before a raise-capable validation
+
+
+def test_m001_flags_write_before_raise(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "nand/block.py", """
+        class Block:
+            def program(self, page, mask):
+                self.next_page += 1
+                if mask == 0:
+                    raise ValueError("empty mask")
+                self.pass_counts[page] += 1
+        """, select=["M"])
+    assert "M001" in rules
+
+
+def test_m001_flags_write_before_validator_call(tmp_path):
+    """The interprocedural shape: the raise lives in a called pure
+    validator, not in the mutating method itself."""
+    rules, _ = lint_snippet(tmp_path, "nand/block.py", """
+        class Block:
+            def check_mask(self, mask):
+                if mask < 0:
+                    raise ValueError("bad mask")
+
+            def program(self, page, mask):
+                self.next_page += 1
+                self.check_mask(mask)
+                self.pass_counts[page] += 1
+        """, select=["M"])
+    assert "M001" in rules
+
+
+def test_m001_flags_cross_function_validator(tmp_path):
+    """Validator raise facts propagate over module-level call edges."""
+    rules, _ = lint_snippet(tmp_path, "ftl/base.py", """
+        def check_budget(n):
+            if n < 0:
+                raise ValueError("negative budget")
+
+        class Ftl:
+            def reserve(self, n):
+                self.reserved += n
+                check_budget(n)
+        """, select=["M"])
+    assert "M001" in rules
+
+
+def test_m001_flags_partial_batch_loop(tmp_path):
+    """PR 7 regression shape: ``invalidate_many`` validating inside the
+    mutation loop, so a bad slot mid-batch leaves earlier slots already
+    invalidated."""
+    rules, _ = lint_snippet(tmp_path, "nand/block.py", """
+        class Block:
+            def invalidate_many(self, slots):
+                valid_f = self.region.valid
+                for slot in slots:
+                    if slot < 0:
+                        raise ValueError("bad slot")
+                    valid_f[slot] = False
+        """, select=["M"])
+    assert "M001" in rules
+
+
+def test_m001_good_validate_then_write(tmp_path):
+    """PR 7's *fix* shape: every raise-capable check precedes the first
+    state write (including the two-loop batch form)."""
+    rules, _ = lint_snippet(tmp_path, "nand/block.py", """
+        class Block:
+            def check_mask(self, mask):
+                if mask < 0:
+                    raise ValueError("bad mask")
+
+            def program(self, page, mask):
+                if mask == 0:
+                    raise ValueError("empty mask")
+                self.check_mask(mask)
+                self.pass_counts[page] += 1
+                self.next_page += 1
+
+            def invalidate_many(self, slots):
+                valid_f = self.region.valid
+                for slot in slots:
+                    if slot < 0:
+                        raise ValueError("bad slot")
+                for slot in slots:
+                    valid_f[slot] = False
+        """, select=["M001"])
+    assert rules == []
+
+
+def test_m001_good_early_return_branch(tmp_path):
+    """Writes on a branch that returns never reach a later raise."""
+    rules, _ = lint_snippet(tmp_path, "nand/block.py", """
+        class Block:
+            def maybe(self, fast, mask):
+                if fast:
+                    self.next_page += 1
+                    return True
+                if mask == 0:
+                    raise ValueError("empty mask")
+                return False
+        """, select=["M"])
+    assert rules == []
+
+
+def test_m001_good_write_inside_try(tmp_path):
+    """A raise under an exception handler is a handled path, not a torn
+    exit."""
+    rules, _ = lint_snippet(tmp_path, "nand/block.py", """
+        class Block:
+            def program(self, page):
+                self.next_page += 1
+                try:
+                    if page < 0:
+                        raise ValueError("bad page")
+                except ValueError:
+                    self.next_page -= 1
+        """, select=["M"])
+    assert rules == []
+
+
+def test_m001_good_transition_call_after_write(tmp_path):
+    """Calling a method that both raises and writes is a state
+    transition (``block.retire()``), not a validation point."""
+    rules, _ = lint_snippet(tmp_path, "nand/flash.py", """
+        class Block:
+            def retire(self):
+                if self.bad:
+                    raise ValueError("cannot retire")
+                self.state = "retired"
+
+        class Flash:
+            def erase(self, block: Block):
+                self.erases += 1
+                block.retire()
+        """, select=["M001"])
+    assert rules == []
+
+
+def test_m001_exempts_init_and_other_dirs(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "nand/block.py", """
+        class Block:
+            def __init__(self, config):
+                self.next_page = 0
+                if config is None:
+                    raise ValueError("no config")
+        """, select=["M"])
+    assert rules == []
+    rules, _ = lint_snippet(tmp_path, "metrics/latency.py", """
+        class Tracker:
+            def add(self, value):
+                self.total += value
+                if value < 0:
+                    raise ValueError("negative latency")
+        """, select=["M"])
+    assert rules == []
+
+
+def test_m001_line_suppression(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "nand/block.py", """
+        class Block:
+            def program(self, page, mask):
+                self.next_page += 1
+                if mask == 0:
+                    raise ValueError("empty")  # repro-lint: disable=M001
+        """, select=["M"])
+    assert rules == []
+
+
+# --------------------------------------------------------------------------
+# M002 — Block mirror / RegionState column lock-step
+
+
+def test_m002_flags_mirror_without_column(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "nand/block.py", """
+        class Block:
+            def invalidate(self, page):
+                self.valid_mask &= ~(1 << page)
+                self.n_valid -= 1
+        """, select=["M"])
+    assert rules.count("M002") == 2  # both unpaired mirrors
+
+
+def test_m002_flags_column_without_mirror(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "nand/block.py", """
+        class Block:
+            def invalidate(self, slot):
+                region = self.region
+                region.valid[slot] = False
+        """, select=["M"])
+    assert "M002" in rules
+
+
+def test_m002_good_paired_writes(tmp_path):
+    """The kernel's real shape: mirror and column updated in the same
+    method, including writes through hoisted column aliases."""
+    rules, _ = lint_snippet(tmp_path, "nand/block.py", """
+        class Block:
+            def invalidate(self, slot, page):
+                valid_f = self.region.valid
+                valid_f[slot] = False
+                self.valid_mask &= ~(1 << page)
+                self.n_valid -= 1
+        """, select=["M"])
+    assert rules == []
+
+
+def test_m002_good_unmirrored_column(tmp_path):
+    """``slot_time`` has no scalar mirror by design — array-only columns
+    carry no pairing obligation."""
+    rules, _ = lint_snippet(tmp_path, "nand/flash.py", """
+        class Flash:
+            def touch(self, region, j, now):
+                time_f = region.slot_time
+                time_f[j] = now
+        """, select=["M"])
+    assert rules == []
+
+
+def test_m002_allowlists_reference_twin(tmp_path):
+    """The pure-python spec twin keeps no mirrors on purpose."""
+    rules, _ = lint_snippet(tmp_path, "nand/reference.py", """
+        class ReferenceBlock:
+            def erase(self):
+                self.erase_count += 1
+                self.state = "free"
+                self.level = None
+        """, select=["M"])
+    assert rules == []
+
+
+# --------------------------------------------------------------------------
+# N001 — dtype discipline in byte-identity-gated modules
+
+
+def test_n001_flags_dtypeless_construction(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "error/rber.py", """
+        import numpy as np
+
+        def curve(values):
+            return np.array([v * 2.0 for v in values])
+        """, select=["N"])
+    assert rules == ["N001"]
+
+
+def test_n001_flags_narrow_float(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "error/ecc.py", """
+        import numpy as np
+
+        def decode(rbers):
+            return np.asarray(rbers, dtype=np.float32)
+        """, select=["N"])
+    assert rules == ["N001"]
+
+
+def test_n001_flags_narrow_float_string(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "nand/state.py", """
+        import numpy as np
+
+        def alloc(n):
+            return np.zeros(n, dtype="float32")
+        """, select=["N"])
+    assert rules == ["N001"]
+
+
+def test_n001_good_explicit_dtypes(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "nand/state.py", """
+        import numpy as np
+
+        def alloc(n):
+            a = np.zeros(n, dtype=np.float64)
+            b = np.full(n, -1, dtype=np.int64)
+            c = np.asarray([1, 2], np.intp)
+            d = np.zeros(n, dtype=bool)
+            return a, b, c, d
+        """, select=["N"])
+    assert rules == []
+
+
+def test_n001_only_gated_modules(tmp_path):
+    """Trace synthesis and friends are free to use idiomatic numpy."""
+    rules, _ = lint_snippet(tmp_path, "traces/synth.py", """
+        import numpy as np
+
+        def weights(values):
+            return np.array(values)
+        """, select=["N"])
+    assert rules == []
+
+
+# --------------------------------------------------------------------------
+# N002 — order-dependent reductions in byte-identity-gated modules
+
+
+def test_n002_flags_fancy_gather_sum(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "nand/flash.py", """
+        import numpy as np
+
+        def price(col, idx):
+            return col[idx].sum()
+        """, select=["N"])
+    assert rules == ["N002"]
+
+
+def test_n002_flags_np_sum_of_gather(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "error/rber.py", """
+        import numpy as np
+
+        def price(col, idx):
+            return np.sum(col[idx])
+        """, select=["N"])
+    assert rules == ["N002"]
+
+
+def test_n002_flags_builtin_sum_over_array(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "error/ecc.py", """
+        def fold(arr):
+            return sum(arr)
+        """, select=["N"])
+    assert rules == ["N002"]
+
+
+def test_n002_good_generator_and_mask_sums(tmp_path):
+    """Generator folds and boolean-mask gathers (ascending position
+    order) stay deterministic and stay allowed."""
+    rules, _ = lint_snippet(tmp_path, "nand/flash.py", """
+        import numpy as np
+
+        def counters(blocks, col):
+            a = sum(b.n_valid for b in blocks)
+            b = col[col > 0].sum()
+            c = np.maximum.reduceat(col, [0, 4])
+            return a, b, c
+        """, select=["N"])
+    assert rules == []
+
+
+def test_n002_only_gated_modules(tmp_path):
+    rules, _ = lint_snippet(tmp_path, "metrics/latency.py", """
+        def mean(latencies):
+            return sum(latencies) / len(latencies)
+        """, select=["N"])
+    assert rules == []
+
+
+# --------------------------------------------------------------------------
+# M/N --select plumbing
+
+
+def test_select_prefix_m_expands(tmp_path):
+    _, result = lint_snippet(tmp_path, "ftl/x.py", "x = 1\n", select=["M"])
+    assert result.rules_run == ["M001", "M002"]
+
+
+def test_select_prefix_n_expands(tmp_path):
+    _, result = lint_snippet(tmp_path, "ftl/x.py", "x = 1\n", select=["N"])
+    assert result.rules_run == ["N001", "N002"]
