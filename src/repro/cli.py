@@ -7,6 +7,7 @@
     repro-ssd all --scale smoke            # regenerate everything
     repro-ssd simulate --trace ts0 --scheme ipu --scale smoke
     repro-ssd faults --rates 0,0.5,1.0     # reliability campaign sweep
+    repro-ssd fleet --devices 4 --tenants ts0,usr0:0.5   # fleet campaign
     repro-ssd traces                       # profile summary
     repro-ssd lint                         # determinism/schema analyzer
 
@@ -254,6 +255,74 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenants(text: str):
+    """``profile[:weight]`` comma list -> tuple of TenantSpec."""
+    from .fleet import TenantSpec
+
+    tenants = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if ":" in item:
+            name, weight = item.split(":", 1)
+            tenants.append(TenantSpec(name, float(weight)))
+        else:
+            tenants.append(TenantSpec(item))
+    return tuple(tenants)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    # Lazy: the fleet layer pulls in the whole experiments stack.
+    from .fleet import FleetConfig, run_campaign
+    from .fleet.campaign import campaign_json
+
+    cfg = FleetConfig(
+        n_devices=args.devices,
+        tenants=_parse_tenants(args.tenants),
+        scheme=args.scheme,
+        scale=args.scale,
+        seed=args.seed,
+        n_epochs=args.epochs,
+        epoch_requests=args.epoch_requests,
+        stripe_bytes=args.stripe_kib * KIB,
+        fault_rate=args.fault_rate,
+    ).validate()
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = str(args.cache_dir or default_cache_dir())
+    campaign = run_campaign(
+        cfg, jobs=resolve_jobs(args.jobs), cache_dir=cache_dir,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        stop_after_epoch=args.stop_after_epoch)
+    if campaign is None:
+        print(f"[fleet] paused before epoch {args.stop_after_epoch}; "
+              f"snapshots in {args.checkpoint_dir} — rerun without "
+              f"--stop-after-epoch to finish")
+        return 0
+    rows = []
+    for rec in campaign["epochs"]:
+        rows.append({
+            "epoch": rec["epoch"],
+            "requests": rec["n_requests"],
+            "p50 ms": f"{rec['lat_p50_ms']:.4f}",
+            "p99 ms": f"{rec['lat_p99_ms']:.4f}",
+            "p999 ms": f"{rec['lat_p999_ms']:.4f}",
+            "retired": rec["retired_blocks"],
+            "cap loss": f"{rec['capacity_loss']:.4%}",
+        })
+    print(format_table(
+        rows, title=f"Fleet campaign ({cfg.n_devices} devices, "
+                    f"scheme={cfg.scheme}, scale={cfg.scale}, "
+                    f"seed={cfg.seed})"))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(campaign_json(campaign))
+        print(f"(campaign written to {args.json})")
+    return 0
+
+
 def _cmd_traces(args: argparse.Namespace) -> int:
     rows = [
         {
@@ -382,6 +451,41 @@ def build_parser() -> argparse.ArgumentParser:
                                "JSON (byte-stable for a given seed)")
     add_execution_flags(p_faults)
     p_faults.set_defaults(fn=_cmd_faults)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="run a sharded multi-device fleet campaign")
+    p_fleet.add_argument("--devices", type=int, default=2, metavar="N",
+                         help="devices in the array (default: 2)")
+    p_fleet.add_argument("--tenants", default="ts0", metavar="P[:W],...",
+                         help="tenant mix as profile[:weight] entries, "
+                              "e.g. ts0,usr0:0.5 (default: ts0)")
+    p_fleet.add_argument("--scheme", default="ipu",
+                         choices=sorted(SCHEMES))
+    p_fleet.add_argument("--scale", default="smoke",
+                         choices=("smoke", "small", "medium"))
+    p_fleet.add_argument("--seed", type=int, default=1)
+    p_fleet.add_argument("--epochs", type=int, default=4, metavar="N",
+                         help="campaign epochs (the aging axis)")
+    p_fleet.add_argument("--epoch-requests", type=int, default=4096,
+                         metavar="N", help="fleet-wide requests per epoch")
+    p_fleet.add_argument("--stripe-kib", type=int, default=256, metavar="K",
+                         help="sharding stripe size in KiB (default: 256)")
+    p_fleet.add_argument("--fault-rate", type=float, default=0.0, metavar="R",
+                         help="fault-injection rate multiplier (0 = off)")
+    p_fleet.add_argument("--checkpoint-dir", metavar="DIR",
+                         help="snapshot device replays here and resume "
+                              "from the newest snapshots on rerun")
+    p_fleet.add_argument("--checkpoint-every", type=int, default=1,
+                         metavar="N", help="snapshot every N epochs "
+                                           "(default: 1; 0 = only on stop)")
+    p_fleet.add_argument("--stop-after-epoch", type=int, default=None,
+                         metavar="E", help="save snapshots and pause the "
+                                           "campaign before epoch E")
+    p_fleet.add_argument("--json", metavar="PATH",
+                         help="write the fleet aggregate as canonical JSON "
+                              "(byte-stable for a given config)")
+    add_execution_flags(p_fleet)
+    p_fleet.set_defaults(fn=_cmd_fleet)
 
     p_lint = sub.add_parser(
         "lint", help="run the determinism/schema static analyzer")

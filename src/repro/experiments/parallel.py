@@ -22,7 +22,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
-__all__ = ["CellSpec", "resolve_jobs", "simulate_cell", "run_cells"]
+__all__ = ["CellSpec", "FleetDeviceSpec", "resolve_jobs", "run_cells",
+           "run_fleet_devices", "simulate_cell", "simulate_fleet_device"]
 
 
 def resolve_jobs(jobs: "int | str | None" = None) -> int:
@@ -97,3 +98,67 @@ def run_cells(specs: "list[CellSpec]", jobs: "int | None" = None) -> list[dict]:
         return [simulate_cell(spec) for spec in specs]
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
         return list(pool.map(simulate_cell, specs))
+
+
+@dataclass(frozen=True)
+class FleetDeviceSpec:
+    """One fleet device cell, under the same primitives-only rule as
+    :class:`CellSpec` — the worker rebuilds the
+    :class:`~repro.fleet.FleetConfig` from its canonical JSON and runs
+    the device exactly as the sequential path would."""
+
+    #: Canonical JSON of the :class:`~repro.fleet.FleetConfig`.
+    fleet_json: str
+    #: Device index within the fleet.
+    device: int
+    #: Root of the shared on-disk result cache (None = no cache).
+    cache_dir: str | None = None
+    #: Root of the checkpoint store (None = no snapshots, no resume).
+    checkpoint_dir: str | None = None
+    #: Snapshot after every N completed epochs (0 = only when stopping).
+    checkpoint_every: int = 0
+    #: Save a snapshot and stop before this epoch (None = run to end).
+    stop_after_epoch: int | None = None
+
+
+def simulate_fleet_device(spec: FleetDeviceSpec) -> "dict | None":
+    """Worker entry point: run one fleet device, return its payload.
+
+    The cache is consulted before — and populated after — the replay, so
+    a warm cache short-circuits inside the worker just like
+    :func:`simulate_cell` does.  Returns ``None`` when the run stopped
+    early at ``stop_after_epoch`` (the snapshot holds the progress).
+    """
+    from ..fleet.config import FleetConfig
+    from ..fleet.runner import run_device
+    from .cache import ResultCache
+
+    cfg = FleetConfig.from_json(spec.fleet_json)
+    cache = ResultCache(spec.cache_dir) if spec.cache_dir else None
+    key = cfg.device_key(spec.device)
+    if cache is not None and spec.stop_after_epoch is None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    payload = run_device(cfg, spec.device,
+                         checkpoint_dir=spec.checkpoint_dir,
+                         checkpoint_every=spec.checkpoint_every,
+                         stop_after_epoch=spec.stop_after_epoch)
+    if cache is not None and payload is not None:
+        cache.put(key, payload)
+    return payload
+
+
+def run_fleet_devices(specs: "list[FleetDeviceSpec]",
+                      jobs: "int | None" = None) -> "list[dict | None]":
+    """Run many fleet device cells, fanning out over worker processes.
+
+    Same contract as :func:`run_cells`: results in spec order, inline
+    when one worker suffices, bit-identical either way.
+    """
+    specs = list(specs)
+    n_workers = min(resolve_jobs(jobs), len(specs))
+    if n_workers <= 1:
+        return [simulate_fleet_device(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(simulate_fleet_device, specs))

@@ -1,0 +1,28 @@
+"""Sharded multi-device fleet simulation (streaming + checkpoint/restore).
+
+The fleet layer sits above the single-device simulator and answers the
+questions one cell cannot: tail latency across an *array* of devices
+serving a multi-tenant workload, and capacity loss as the array ages
+through long fault-injected campaigns.  Three pieces make it work:
+
+* **streaming trace replay** (:mod:`repro.traces.stream`) keeps memory
+  constant over arbitrarily long traces,
+* **checkpoint/restore** (:mod:`repro.fleet.checkpoint`) snapshots a
+  device replay every N epochs and resumes it byte-identically,
+* **static LSN sharding** (:mod:`repro.fleet.shard`) splits one merged
+  tenant stream across the devices, which then fan out over the
+  existing process pool and result cache.
+
+See ``docs/FLEET.md`` for the model and the determinism contracts.
+"""
+
+from .config import FleetConfig, TenantSpec
+from .campaign import run_campaign
+from .checkpoint import CheckpointError, CheckpointStore
+from .runner import run_device
+from .shard import OffsetStream, ShardedStream, shard_of
+
+__all__ = [
+    "CheckpointError", "CheckpointStore", "FleetConfig", "OffsetStream",
+    "ShardedStream", "TenantSpec", "run_campaign", "run_device", "shard_of",
+]

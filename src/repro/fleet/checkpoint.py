@@ -1,0 +1,191 @@
+"""Versioned, deterministic checkpoint files for resumable replays.
+
+A checkpoint captures a paused device replay completely: pickling the
+replay driver (:class:`repro.sim.simulator.OpenLoopReplay`) drags the
+FTL — and through it the :class:`~repro.nand.state.RegionState` arrays,
+mapping/allocator/GC state, any attached fault plan with its RNG stream
+positions — plus the chip/channel resource clocks and the explicit
+loop-carry accumulators.  ``Block``'s pickle protocol rebuilds its
+numpy views into the region arrays on load, so the restored object
+graph has the same shared-memory shape as the original (not silent
+copies), and a resumed replay is bit-identical to an uninterrupted one
+(``tests/test_checkpoint.py`` proves it property-style).
+
+File format (everything before the payload is plain bytes + JSON, so a
+mismatched file fails loudly *before* any unpickling)::
+
+    magic   b"repro-ckpt\\n"
+    u32 BE  header length
+    header  canonical JSON: format version, cache schema version, kind,
+            key, epoch, payload SHA-256
+    payload pickle (protocol 5)
+
+The cache schema version rides in the header because a checkpoint is
+exactly as invalidation-sensitive as a cache entry: any behaviour
+change that would orphan cached results must orphan snapshots too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import struct
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from ..errors import ReproError
+
+__all__ = ["CHECKPOINT_VERSION", "CheckpointError", "CheckpointStore",
+           "load_checkpoint", "save_checkpoint"]
+
+#: Leading bytes of every checkpoint file.
+MAGIC = b"repro-ckpt\n"
+#: Bump on any incompatible change to the file layout or payload shape.
+CHECKPOINT_VERSION = 1
+#: Kind tag of fleet device snapshots (the only kind today).
+DEVICE_KIND = "fleet-device"
+_LEN = struct.Struct(">I")
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is missing, corrupt, or from another world."""
+
+
+def _schema_version() -> int:
+    from ..experiments.cache import CACHE_SCHEMA_VERSION
+    return CACHE_SCHEMA_VERSION
+
+
+def save_checkpoint(path: "str | Path", payload: Any, *, key: str,
+                    epoch: int, kind: str = DEVICE_KIND) -> None:
+    """Atomically write ``payload`` as a checkpoint file.
+
+    ``key`` is the identity of the run being snapshotted (the fleet
+    device cache key); ``epoch`` is the number of completed epochs the
+    payload represents.
+    """
+    blob = pickle.dumps(payload, protocol=5)
+    header = {
+        "version": CHECKPOINT_VERSION,
+        "schema": _schema_version(),
+        "kind": kind,
+        "key": key,
+        "epoch": int(epoch),
+        "payload_sha256": hashlib.sha256(blob).hexdigest(),
+    }
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(_LEN.pack(len(header_bytes)))
+            handle.write(header_bytes)
+            handle.write(blob)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(path: "str | Path", *, key: "str | None" = None,
+                    kind: str = DEVICE_KIND) -> tuple[dict, Any]:
+    """Validate and load one checkpoint; returns ``(header, payload)``.
+
+    Every mismatch — magic, format version, cache schema version, kind,
+    expected key, payload digest — raises :class:`CheckpointError`
+    before the payload is unpickled (digest aside, which requires
+    reading it, but still precedes unpickling).
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from None
+    if not raw.startswith(MAGIC):
+        raise CheckpointError(f"{path}: not a repro checkpoint (bad magic)")
+    body = raw[len(MAGIC):]
+    if len(body) < _LEN.size:
+        raise CheckpointError(f"{path}: truncated header")
+    (header_len,) = _LEN.unpack_from(body)
+    header_bytes = body[_LEN.size:_LEN.size + header_len]
+    if len(header_bytes) != header_len:
+        raise CheckpointError(f"{path}: truncated header")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except ValueError as exc:
+        raise CheckpointError(f"{path}: corrupt header ({exc})") from None
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint format v{header.get('version')}, "
+            f"this build reads v{CHECKPOINT_VERSION}")
+    if header.get("schema") != _schema_version():
+        raise CheckpointError(
+            f"{path}: written under cache schema {header.get('schema')}, "
+            f"current is {_schema_version()} — stale snapshot, rerun")
+    if header.get("kind") != kind:
+        raise CheckpointError(
+            f"{path}: kind {header.get('kind')!r}, expected {kind!r}")
+    if key is not None and header.get("key") != key:
+        raise CheckpointError(
+            f"{path}: snapshot of another run (key mismatch)")
+    blob = body[_LEN.size + header_len:]
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest != header.get("payload_sha256"):
+        raise CheckpointError(f"{path}: payload digest mismatch (corrupt)")
+    return header, pickle.loads(blob)
+
+
+class CheckpointStore:
+    """Directory of checkpoints for one fleet campaign.
+
+    File names carry the device and epoch (``d<device>_e<epoch>.ckpt``
+    under a per-key subdirectory), so :meth:`latest_epoch` needs no
+    index file and concurrent devices never collide.
+    """
+
+    def __init__(self, root: "str | Path", key: str):
+        self.root = Path(root)
+        self.key = key
+        self._dir = self.root / key[:24]
+
+    def path(self, device: int, epoch: int) -> Path:
+        """Path of the snapshot of ``device`` after ``epoch`` epochs."""
+        return self._dir / f"d{device}_e{epoch}.ckpt"
+
+    def save(self, device: int, epoch: int, payload: Any) -> Path:
+        """Snapshot ``device`` after ``epoch`` completed epochs."""
+        path = self.path(device, epoch)
+        save_checkpoint(path, payload, key=self.key, epoch=epoch)
+        return path
+
+    def latest_epoch(self, device: int) -> "int | None":
+        """Highest epoch with a snapshot for ``device``, or ``None``."""
+        prefix = f"d{device}_e"
+        best: "int | None" = None
+        if not self._dir.is_dir():
+            return None
+        for entry in self._dir.iterdir():
+            name = entry.name
+            if not (name.startswith(prefix) and name.endswith(".ckpt")):
+                continue
+            try:
+                epoch = int(name[len(prefix):-len(".ckpt")])
+            except ValueError:
+                continue
+            if best is None or epoch > best:
+                best = epoch
+        return best
+
+    def load(self, device: int, epoch: int) -> Any:
+        """Load and validate one snapshot's payload."""
+        _, payload = load_checkpoint(self.path(device, epoch), key=self.key)
+        return payload

@@ -1,0 +1,349 @@
+"""One fleet device: build, stream, epoch loop, checkpoint, summarise.
+
+A *device cell* is the fleet counterpart of an experiment cell: fully
+determined by ``(FleetConfig, device index)``, replayed through the
+standard :class:`~repro.sim.simulator.OpenLoopReplay`, and serialised
+to a JSON-ready payload the result cache can hold.  The replay is
+chunked on the epoch grid — each fleet-wide epoch chunk shards to one
+(possibly empty) device chunk — and after every epoch the driver drains
+its latency window into an epoch record: exact percentiles for the
+device's own tail curve plus a fixed log-spaced histogram the campaign
+layer merges for *fleet-level* percentiles (integer bin counts merge
+exactly; percentile-of-concatenated-arrays would need every latency).
+
+Checkpoints snapshot the replay driver after every ``checkpoint_every``
+epochs; a resume loads the newest snapshot, fast-forwards the
+deterministic stream past the consumed epochs, and continues
+bit-identically.  Everything here is wall-clock-free: a device payload
+is a pure function of its config, which is what makes it cacheable and
+the resume-equality check (`tests/test_fleet.py`, the CI fleet smoke
+job) meaningful at byte granularity.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..config import SSDConfig
+from ..errors import ExperimentError
+from ..sim.simulator import OpenLoopReplay
+from ..traces.profiles import TraceProfile, profile
+from ..traces.stream import MergedStream, TraceStream
+from ..traces.synth import SyntheticStream, SyntheticTraceGenerator
+from ..units import Ms
+from .checkpoint import CheckpointStore
+from .config import FleetConfig
+from .shard import OffsetStream, ShardedStream
+
+__all__ = [
+    "LAT_HIST_EDGES_MS", "device_config", "device_stream", "fleet_stream",
+    "histogram_latencies", "run_device",
+]
+
+#: Log-spaced latency histogram edges (ms): 96 bins over 1 µs..10 s plus
+#: an underflow and an overflow bucket.  Integer counts over fixed edges
+#: merge exactly across devices, which is what makes fleet-level tail
+#: percentiles deterministic without shipping raw latency arrays.
+_HIST_BINS = 96
+_HIST_LO_EXP = -3.0
+_HIST_HI_EXP = 4.0
+LAT_HIST_EDGES_MS: np.ndarray = np.logspace(
+    _HIST_LO_EXP, _HIST_HI_EXP, _HIST_BINS + 1)
+
+#: Tail quantiles of the fleet curves.
+TAIL_QUANTILES: tuple[tuple[str, float], ...] = (
+    ("lat_p50_ms", 50.0), ("lat_p99_ms", 99.0), ("lat_p999_ms", 99.9))
+
+
+def histogram_latencies(latencies: np.ndarray) -> list[int]:
+    """Counts of ``latencies`` in the fixed fleet bins.
+
+    Layout: ``[underflow, *bins, overflow]`` — length ``_HIST_BINS + 2``.
+    """
+    if not len(latencies):
+        return [0] * (_HIST_BINS + 2)
+    counts, _ = np.histogram(latencies, bins=LAT_HIST_EDGES_MS)
+    under = int((latencies < LAT_HIST_EDGES_MS[0]).sum())
+    over = int((latencies >= LAT_HIST_EDGES_MS[-1]).sum())
+    return [under] + [int(c) for c in counts] + [over]
+
+
+def quantile_from_histogram(hist: "list[int]", q: float) -> float:
+    """Upper bin edge at cumulative quantile ``q`` (percent).
+
+    Deterministic by construction (integer counts, fixed edges): the
+    reported value is the upper edge of the first bin whose cumulative
+    count reaches ``ceil(q/100 * total)``.  Underflow reports the lowest
+    edge; overflow the highest.
+    """
+    total = sum(hist)
+    if total == 0:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * total))
+    running = 0
+    for i, count in enumerate(hist):
+        running += count
+        if running >= rank:
+            if i == 0:
+                return float(LAT_HIST_EDGES_MS[0])
+            if i >= len(hist) - 1:
+                return float(LAT_HIST_EDGES_MS[-1])
+            return float(LAT_HIST_EDGES_MS[i])
+    return float(LAT_HIST_EDGES_MS[-1])  # pragma: no cover - unreachable
+
+
+# -- device sizing ----------------------------------------------------------
+
+
+def _tenant_footprints(cfg: FleetConfig) -> tuple[float, float]:
+    """Fleet-wide ``(hot-set bytes, page-footprint bytes)`` estimates.
+
+    Each tenant runs the standard sizing pilot (a short generation whose
+    :class:`~repro.traces.synth.ExtentTable` measures per-request hot and
+    page footprints), scaled to the tenant's full request count and
+    summed over the mix.
+    """
+    from ..experiments.runner import PILOT_REQUESTS
+    hotset = 0.0
+    page_fp = 0.0
+    page_size = SSDConfig().geometry.page_size
+    for index, (tenant, n_requests) in enumerate(
+            zip(cfg.tenants, cfg.tenant_requests())):
+        prof = profile(tenant.profile)
+        pilot_n = max(1, min(PILOT_REQUESTS, n_requests))
+        gen = SyntheticTraceGenerator(
+            prof, n_requests=pilot_n, seed=cfg.tenant_seed(index))
+        gen.generate()
+        ext = gen.extents
+        assert ext is not None
+        scale_factor = n_requests / pilot_n
+        hotset += float(ext.sizes[ext.is_hot].sum()) * scale_factor
+        page_fp += float(ext.page_footprint_bytes(page_size)) * scale_factor
+    return hotset, page_fp
+
+
+def device_config(cfg: FleetConfig) -> SSDConfig:
+    """Per-device configuration sized for this fleet's workload share.
+
+    The fleet-wide footprints divide evenly across the array (striping
+    spreads every tenant over every device), then flow through the same
+    cache/over-provisioning formulas the single-device experiment
+    runner uses, so a one-device fleet sizes like an ordinary cell.
+    """
+    from dataclasses import replace as _replace
+
+    from ..config import CacheConfig, GeometryConfig, SCALES
+    from ..experiments.runner import (
+        CACHE_OVER_HOTSET, MIN_MLC_PER_PLANE, MIN_SLC_BLOCKS,
+        MIN_SLC_PER_PLANE, MLC_OVER_FOOTPRINT)
+
+    if cfg.scale not in SCALES:
+        raise ExperimentError(
+            f"unknown scale {cfg.scale!r}; available: {', '.join(SCALES)}")
+    spec = SCALES[cfg.scale]
+    hotset_bytes, page_fp = _tenant_footprints(cfg)
+    hotset_bytes /= cfg.n_devices
+    page_fp /= cfg.n_devices
+
+    base = SSDConfig()
+    page_size = base.geometry.page_size
+    slc_block_bytes = base.geometry.slc_pages_per_block * page_size
+    mlc_block_bytes = base.geometry.mlc_pages_per_block * page_size
+    planes = spec.channels * spec.chips_per_channel * spec.planes_per_chip
+    slc_per_plane = max(
+        MIN_SLC_PER_PLANE,
+        math.ceil(max(MIN_SLC_BLOCKS, CACHE_OVER_HOTSET * hotset_bytes
+                      / slc_block_bytes) / planes),
+    )
+    mlc_per_plane = max(
+        MIN_MLC_PER_PLANE,
+        math.ceil(MLC_OVER_FOOTPRINT * page_fp / mlc_block_bytes / planes),
+    )
+    blocks_per_plane = slc_per_plane + mlc_per_plane
+    geometry = GeometryConfig(
+        channels=spec.channels,
+        chips_per_channel=spec.chips_per_channel,
+        planes_per_chip=spec.planes_per_chip,
+        total_blocks=blocks_per_plane * planes,
+    )
+    cache = _replace(CacheConfig(),
+                     slc_ratio=slc_per_plane / blocks_per_plane)
+    return SSDConfig(geometry=geometry, cache=cache,
+                     seed=cfg.seed).validate()
+
+
+def _tenant_interarrival_ms(cfg: FleetConfig, index: int,
+                            prof: TraceProfile, dev_cfg: SSDConfig) -> Ms:
+    """Mean inter-arrival of tenant ``index``'s stream.
+
+    :func:`~repro.experiments.runner.estimate_interarrival_ms` gives the
+    arrival period that loads one device to target utilisation with this
+    profile alone; tenant ``index`` supplies a ``weight/total`` share of
+    the fleet-wide traffic feeding ``n_devices`` devices, so its period
+    stretches by ``total_weight / (weight * n_devices)``.
+    """
+    from ..experiments.runner import estimate_interarrival_ms
+    total_weight = sum(t.weight for t in cfg.tenants)
+    base = estimate_interarrival_ms(prof, dev_cfg)
+    return base * total_weight / (cfg.tenants[index].weight * cfg.n_devices)
+
+
+# -- streams ----------------------------------------------------------------
+
+
+def fleet_stream(cfg: FleetConfig, dev_cfg: "SSDConfig | None" = None,
+                 ) -> TraceStream:
+    """The merged multi-tenant fleet arrival stream (pre-sharding).
+
+    Chunked on the epoch grid: chunk ``k`` holds fleet epoch ``k``'s
+    requests.  Pure function of the config — re-iterable, so checkpoint
+    fast-forward can regenerate it.
+    """
+    if dev_cfg is None:
+        dev_cfg = device_config(cfg)
+    streams: list[TraceStream] = []
+    for index, (tenant, n_requests) in enumerate(
+            zip(cfg.tenants, cfg.tenant_requests())):
+        if n_requests < 1:
+            continue
+        prof = profile(tenant.profile)
+        synth = SyntheticStream(
+            prof, n_requests=n_requests,
+            mean_interarrival_ms=_tenant_interarrival_ms(
+                cfg, index, prof, dev_cfg),
+            seed=cfg.tenant_seed(index),
+            chunk_requests=cfg.epoch_requests)
+        streams.append(OffsetStream(
+            synth, cfg.tenant_base_offset(index),
+            name=f"tenant{index}:{tenant.profile}"))
+    return MergedStream(streams, chunk_requests=cfg.epoch_requests,
+                        name=f"fleet:{cfg.scheme}")
+
+
+def device_stream(cfg: FleetConfig, device: int,
+                  dev_cfg: "SSDConfig | None" = None) -> ShardedStream:
+    """Device ``device``'s shard of the fleet stream (epoch-aligned)."""
+    return ShardedStream(fleet_stream(cfg, dev_cfg), device,
+                         cfg.n_devices, cfg.stripe_bytes)
+
+
+# -- the epoch loop ---------------------------------------------------------
+
+
+def _epoch_record(cfg: FleetConfig, device: int, epoch: int,
+                  replay: OpenLoopReplay, latencies: np.ndarray,
+                  is_write: np.ndarray, dev_cfg: SSDConfig) -> dict:
+    """One epoch's JSON-ready record: window tail stats + cumulative
+    device counters (an aging snapshot, not a delta — cumulative integer
+    counters are exact; windowed float deltas would not be)."""
+    result = replay.result(f"fleet:d{device}")
+    result.fleet_device = device
+    result.fleet_epoch = epoch
+    cum = result.deterministic_dict()
+    # The latency arrays cover the run so far and grow per epoch; the
+    # window percentiles below carry the distribution instead.
+    cum.pop("read_latencies", None)
+    cum.pop("write_latencies", None)
+    record: dict = {
+        "epoch": epoch,
+        "device": device,
+        "n_requests": int(len(latencies)),
+        "reads": int((~is_write).sum()),
+        "writes": int(is_write.sum()),
+        "lat_hist": histogram_latencies(latencies),
+        "cum": cum,
+    }
+    for field, q in TAIL_QUANTILES:
+        record[field] = (float(np.percentile(latencies, q))
+                         if len(latencies) else 0.0)
+    total_blocks = dev_cfg.geometry.total_blocks
+    record["capacity_loss"] = (
+        cum["retired_blocks"] / total_blocks if total_blocks else 0.0)
+    return record
+
+
+def _build_replay(cfg: FleetConfig, device: int,
+                  dev_cfg: SSDConfig) -> OpenLoopReplay:
+    from .. import SCHEMES
+    from ..faults import FaultConfig, attach_faults
+
+    if cfg.scheme not in SCHEMES:
+        raise ExperimentError(
+            f"unknown scheme {cfg.scheme!r}; available: {', '.join(SCHEMES)}")
+    ftl = SCHEMES[cfg.scheme](dev_cfg)
+    faults = (FaultConfig.from_rate(cfg.fault_rate)
+              if cfg.fault_rate > 0 else None)
+    attach_faults(ftl, faults, seed=cfg.device_seed(device))
+    return OpenLoopReplay(ftl, dev_cfg)
+
+
+def run_device(cfg: FleetConfig, device: int, *,
+               checkpoint_dir: "str | None" = None,
+               checkpoint_every: int = 0,
+               stop_after_epoch: "int | None" = None) -> "dict | None":
+    """Replay one device cell; returns its JSON-ready payload.
+
+    With ``checkpoint_dir`` set the replay snapshots after every
+    ``checkpoint_every`` completed epochs (0 = only when stopping), and
+    a rerun resumes from the newest snapshot instead of starting over.
+    ``stop_after_epoch`` ends the run early *after* saving a snapshot
+    and returns ``None`` — the resumable-campaign hook the CI smoke job
+    drives.  Resumed and uninterrupted runs are byte-identical.
+    """
+    cfg.validate()
+    if stop_after_epoch is not None and checkpoint_dir is None:
+        raise ExperimentError(
+            "stop_after_epoch without checkpoint_dir would discard the run")
+    dev_cfg = device_config(cfg)
+    store = (CheckpointStore(checkpoint_dir, cfg.device_key(device))
+             if checkpoint_dir is not None else None)
+
+    replay: "OpenLoopReplay | None" = None
+    epochs: list[dict] = []
+    start_epoch = 0
+    if store is not None:
+        latest = store.latest_epoch(device)
+        if latest is not None:
+            payload = store.load(device, latest)
+            replay = payload["replay"]
+            epochs = list(payload["epochs"])
+            start_epoch = int(payload["next_epoch"])
+    if replay is None:
+        replay = _build_replay(cfg, device, dev_cfg)
+
+    stream = device_stream(cfg, device, dev_cfg)
+    for epoch, chunk in enumerate(stream.chunks()):
+        if epoch < start_epoch:
+            # Fast-forward: the stream is deterministic, so skipping the
+            # chunks a snapshot already consumed re-aligns it exactly.
+            continue
+        if stop_after_epoch is not None and epoch >= stop_after_epoch:
+            assert store is not None
+            store.save(device, epoch, {
+                "replay": replay, "epochs": epochs, "next_epoch": epoch})
+            return None
+        replay.feed(chunk)
+        latencies, is_write = replay.drain_window()
+        epochs.append(_epoch_record(
+            cfg, device, epoch, replay, latencies, is_write, dev_cfg))
+        done = epoch + 1
+        if (store is not None and checkpoint_every > 0
+                and done % checkpoint_every == 0 and done < cfg.n_epochs):
+            store.save(device, done, {
+                "replay": replay, "epochs": epochs, "next_epoch": done})
+
+    final = replay.result(f"fleet:d{device}")
+    final.fleet_device = device
+    final.fleet_epoch = cfg.n_epochs - 1
+    final_dict = final.deterministic_dict()
+    final_dict.pop("read_latencies", None)
+    final_dict.pop("write_latencies", None)
+    return {
+        "device": device,
+        "key": cfg.device_key(device),
+        "total_blocks": dev_cfg.geometry.total_blocks,
+        "epochs": epochs,
+        "final": final_dict,
+    }

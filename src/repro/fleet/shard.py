@@ -1,0 +1,116 @@
+"""Static LSN-to-device sharding of a fleet trace stream.
+
+The fleet address space is striped round-robin across the array:
+stripe ``g = offset // stripe_bytes`` lands on device ``g % n_devices``
+at device-local stripe ``g // n_devices`` — the classic RAID-0 layout.
+A request crossing stripe boundaries splits into one sub-request per
+stripe (each on its own device, same timestamp, order preserved), so
+every requested byte is served by exactly one device and the per-device
+address spaces stay dense.
+
+:class:`ShardedStream` is one device's view of a fleet stream.  It
+yields exactly one (possibly empty) chunk per base-stream chunk, so a
+chunk boundary of the fleet stream — which :mod:`repro.fleet.runner`
+equates with an epoch boundary — falls at the same point on every
+device.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import ConfigError
+from ..traces.model import Trace
+from ..traces.stream import TraceStream
+
+__all__ = ["OffsetStream", "ShardedStream", "shard_of", "split_extent"]
+
+
+def shard_of(offset: int, stripe_bytes: int, n_devices: int,
+             ) -> tuple[int, int]:
+    """``(device, device-local byte offset)`` of one fleet byte offset."""
+    stripe = offset // stripe_bytes
+    local = (stripe // n_devices) * stripe_bytes + offset % stripe_bytes
+    return stripe % n_devices, local
+
+
+def split_extent(offset: int, size: int, stripe_bytes: int, n_devices: int,
+                 ) -> "Iterator[tuple[int, int, int]]":
+    """Split a byte extent at stripe boundaries.
+
+    Yields ``(device, local_offset, length)`` pieces in ascending fleet
+    offset order; the lengths sum to ``size`` and every piece lies
+    inside one stripe.
+    """
+    end = offset + size
+    while offset < end:
+        device, local = shard_of(offset, stripe_bytes, n_devices)
+        stripe_end = (offset // stripe_bytes + 1) * stripe_bytes
+        length = min(end, stripe_end) - offset
+        yield device, local, length
+        offset += length
+
+
+class OffsetStream:
+    """Shift a stream's byte offsets by a constant (tenant windowing)."""
+
+    def __init__(self, base: TraceStream, byte_offset: int,
+                 name: "str | None" = None):
+        if byte_offset < 0:
+            raise ConfigError(
+                f"byte_offset must be >= 0, got {byte_offset}")
+        self.base = base
+        self.byte_offset = byte_offset
+        self.name = name if name is not None else base.name
+
+    def chunks(self) -> "Iterator[Trace]":
+        shift = self.byte_offset
+        for chunk in self.base.chunks():
+            yield Trace(chunk.times_ms, chunk.is_write,
+                        chunk.offsets + shift, chunk.sizes, name=self.name)
+
+
+class ShardedStream:
+    """One device's slice of a fleet stream (see module docstring)."""
+
+    def __init__(self, base: TraceStream, device: int, n_devices: int,
+                 stripe_bytes: int, name: "str | None" = None):
+        if not 0 <= device < n_devices:
+            raise ConfigError(
+                f"device {device} outside fleet of {n_devices}")
+        if stripe_bytes < 1:
+            raise ConfigError(
+                f"stripe_bytes must be >= 1, got {stripe_bytes}")
+        self.base = base
+        self.device = device
+        self.n_devices = n_devices
+        self.stripe_bytes = stripe_bytes
+        self.name = (name if name is not None
+                     else f"{base.name}:d{device}")
+
+    def chunks(self) -> "Iterator[Trace]":
+        device = self.device
+        n_devices = self.n_devices
+        stripe_bytes = self.stripe_bytes
+        name = self.name
+        for chunk in self.base.chunks():
+            times: list[float] = []
+            writes: list[bool] = []
+            offsets: list[int] = []
+            sizes: list[int] = []
+            c_times = chunk.times_ms.tolist()
+            c_writes = chunk.is_write.tolist()
+            c_offsets = chunk.offsets.tolist()
+            c_sizes = chunk.sizes.tolist()
+            for i in range(len(c_times)):
+                for dev, local, length in split_extent(
+                        c_offsets[i], c_sizes[i], stripe_bytes, n_devices):
+                    if dev != device:
+                        continue
+                    times.append(c_times[i])
+                    writes.append(c_writes[i])
+                    offsets.append(local)
+                    sizes.append(length)
+            # One (possibly empty) chunk per base chunk: epoch boundaries
+            # stay aligned across the whole array.
+            yield Trace(times, writes, offsets, sizes, name=name)

@@ -38,7 +38,7 @@ import numpy as np
 from ..config import SSDConfig
 from ..sim.ops import Cause, OpKind
 from ..sim.resources import ResourceSet
-from ..sim.simulator import SimulationResult, collect_result
+from ..sim.simulator import SimulationResult, _source_chunks, collect_result
 from ..sim.timing import TimingModel
 from ..traces.model import Trace
 from ..units import Lsn, Ms
@@ -63,10 +63,28 @@ class FrontendSimulator:
         self.timing = TimingModel(self.config, ecc=ftl.ecc, rber=ftl.rber)
         self.resources = ResourceSet(self.geometry)
         self.buffer = WriteBuffer(frontend)
+        #: The scheduler lives for the simulator's whole life (not per
+        #: run) so a checkpoint pickled between chunks carries the
+        #: in-flight heap and queue cursors with it.
+        self.scheduler = MultiQueueScheduler(
+            self.geometry.chips, frontend.queue_depth, self._issue)
         self._subpage_bits = self.geometry.subpage_size * 8
-        self._latencies: np.ndarray | None = None
+        #: Per-request response times, indexed by global request index.
+        #: A growing python list (not a preallocated array): a request
+        #: submitted in one chunk may complete during a later chunk's
+        #: scheduler advance, so the storage must already cover every
+        #: submitted index while growing chunk by chunk.
+        self._latencies: list[float] = []
+        self._is_write: list[bool] = []
         self._read_raw_errors = 0.0
         self._read_bits = 0
+        #: Loop-carry state across feed() calls.
+        self.n = 0
+        self.now = 0.0
+        faults_plan = getattr(ftl, "faults", None)
+        self.next_power_loss = (faults_plan.next_power_loss(0.0)
+                                if faults_plan is not None else math.inf)
+        self._finished = False
 
     # -- op pricing ----------------------------------------------------------
 
@@ -126,14 +144,19 @@ class FrontendSimulator:
 
     # -- replay --------------------------------------------------------------
 
-    def run(self, trace: Trace) -> SimulationResult:
-        """Replay ``trace`` through the front-end and aggregate metrics."""
-        wall_start = time.perf_counter()
+    def feed(self, trace: Trace) -> None:
+        """Submit one chunk of requests through the front-end.
+
+        Chunk boundaries are invisible to the simulation: requests
+        in-flight at a boundary simply complete during a later chunk's
+        scheduler advance (their latency slots already exist), so any
+        chunking of a trace replays byte-identically to one whole-trace
+        feed.  Call :meth:`finish` after the last chunk.
+        """
         n = len(trace)
-        self._latencies = np.zeros(n, dtype=np.float64)
-        self._read_raw_errors = 0.0
-        self._read_bits = 0
-        is_write = trace.is_write
+        base_index = self.n
+        self._latencies.extend([0.0] * n)
+        self._is_write.extend(bool(w) for w in trace.is_write)
 
         ftl = self.ftl
         buffer = self.buffer
@@ -141,19 +164,16 @@ class FrontendSimulator:
         byte_range_to_lsns = geometry.byte_range_to_lsns
         subpages_per_page = geometry.subpages_per_page
         n_chips = geometry.chips
-        scheduler = MultiQueueScheduler(
-            n_chips, self.frontend.queue_depth, self._issue)
-        self.scheduler = scheduler
+        scheduler = self.scheduler
         timing = self.timing
         faults_plan = getattr(ftl, "faults", None)
-        next_power_loss = (faults_plan.next_power_loss(0.0)
-                           if faults_plan is not None else math.inf)
+        next_power_loss = self.next_power_loss
 
         times = trace.times_ms.tolist()
         offsets = trace.offsets.tolist()
         sizes = trace.sizes.tolist()
-        writes = is_write.tolist()
-        now = 0.0
+        writes = trace.is_write.tolist()
+        now = self.now
         for i in range(n):
             now = times[i]
             while now >= next_power_loss:
@@ -169,29 +189,42 @@ class FrontendSimulator:
             lsns = list(byte_range_to_lsns(offsets[i], sizes[i]))
             queue_id = (lsns[0] // subpages_per_page) % n_chips
             scheduler.submit(
-                FrontRequest(index=i, arrival_ms=now, lsns=lsns,
+                FrontRequest(index=base_index + i, arrival_ms=now, lsns=lsns,
                              is_write=bool(writes[i])),
                 queue_id, now)
-        # End of trace: run the queues dry, then destage what is left in
-        # the buffer so the flash holds the final image.
-        last_completion = scheduler.drain()
-        drain_ms = last_completion if last_completion > now else now
-        for span in buffer.drain():
+        self.n = base_index + n
+        self.now = now
+        self.next_power_loss = next_power_loss
+
+    def finish(self) -> None:
+        """End of trace: run the queues dry, then destage what is left in
+        the buffer so the flash holds the final image.  Idempotent."""
+        if self._finished:
+            return
+        self._finished = True
+        last_completion = self.scheduler.drain()
+        drain_ms = last_completion if last_completion > self.now else self.now
+        for span in self.buffer.drain():
             self._flush_span(span, drain_ms)
 
-        latencies = self._latencies
+    def result(self, trace_name: str, wall_seconds: float = 0.0,
+               ) -> SimulationResult:
+        """Harvest the finished replay into a :class:`SimulationResult`."""
+        latencies = np.asarray(self._latencies, dtype=np.float64)
+        is_write = np.asarray(self._is_write, dtype=bool)
+        n = self.n
         result = collect_result(
-            ftl, self.config,
-            trace_name=trace.name,
+            self.ftl, self.config,
+            trace_name=trace_name,
             n_requests=n,
-            sim_time_ms=now,
-            wall_seconds=time.perf_counter() - wall_start,
+            sim_time_ms=self.now,
+            wall_seconds=wall_seconds,
             read_latencies=latencies[~is_write],
             write_latencies=latencies[is_write],
             read_raw_errors=self._read_raw_errors,
             read_bits=self._read_bits,
         )
-        stats = buffer.stats
+        stats = self.buffer.stats
         result.cache_read_hits = stats.read_hits
         result.cache_read_misses = stats.read_misses
         result.merged_writes = stats.merged_writes
@@ -205,3 +238,12 @@ class FrontendSimulator:
             result.lat_p90_ms = float(np.percentile(latencies, 90))
             result.lat_p99_ms = float(np.percentile(latencies, 99))
         return result
+
+    def run(self, trace) -> SimulationResult:
+        """Replay a :class:`Trace` or ``TraceStream`` end to end."""
+        wall_start = time.perf_counter()
+        name, chunks = _source_chunks(trace)
+        for chunk in chunks:
+            self.feed(chunk)
+        self.finish()
+        return self.result(name, wall_seconds=time.perf_counter() - wall_start)

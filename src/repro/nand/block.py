@@ -203,6 +203,68 @@ class Block:
         #: mutations and candidate-set transitions.
         self.index = None
 
+    # -- pickling ------------------------------------------------------
+    #
+    # Default pickling of the numpy view attributes would materialise
+    # them as independent *copies*, silently severing the shared-memory
+    # contract with ``RegionState`` after a checkpoint restore (writes
+    # through the flat store would no longer be visible through the
+    # block, and vice versa).  Instead the views — and the shared mask
+    # tables — are dropped from the pickled state and rebuilt from
+    # ``(region, region_slot)`` on restore.  ``RegionState`` holds no
+    # back-reference to its blocks, so by the time ``__setstate__``
+    # runs the region object (and its arrays) is fully reconstructed.
+
+    #: Numpy views into ``region`` — rebuilt, never pickled.
+    _VIEW_ATTRS = (
+        "programmed", "valid", "slot_lsn", "program_count",
+        "slot_time", "slot_program_time", "disturb_in", "disturb_nb",
+        "page_updated",
+    )
+    #: Shared ``SlotMaskTables`` lookups — rebound from ``region.tables``.
+    _TABLE_ATTRS = ("_set_slots", "_popcount", "_full_mask")
+
+    def _rebind_views(self) -> None:
+        """Reconstruct the region-array views exactly as ``__init__``."""
+        region = self.region
+        pages, spp = self.pages, self.spp
+        self.programmed = region.programmed[self._slots_slice].reshape(
+            pages, spp)
+        self.valid = region.valid[self._slots_slice].reshape(pages, spp)
+        self.slot_lsn = region.slot_lsn[self._slots_slice].reshape(
+            pages, spp)
+        self.program_count = region.program_count[self._pages_slice]
+        if self.is_slc:
+            self.slot_time = region.slot_time[self._slots_slice].reshape(
+                pages, spp)
+            self.slot_program_time = region.slot_program_time[
+                self._slots_slice].reshape(pages, spp)
+            self.disturb_in = region.disturb_in[self._slots_slice].reshape(
+                pages, spp)
+            self.disturb_nb = region.disturb_nb[self._slots_slice].reshape(
+                pages, spp)
+            self.page_updated = region.page_updated[self._pages_slice]
+        else:
+            self.slot_time = None
+            self.slot_program_time = None
+            self.disturb_in = None
+            self.disturb_nb = None
+            self.page_updated = None
+        tables = region.tables
+        self._set_slots = tables.set_slots
+        self._popcount = tables.popcount
+        self._full_mask = tables.full_mask
+
+    def __getstate__(self) -> dict:
+        skip = set(self._VIEW_ATTRS) | set(self._TABLE_ATTRS)
+        return {name: getattr(self, name) for name in self.__slots__
+                if name not in skip}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._rebind_views()
+
     # -- capacity queries ----------------------------------------------
 
     @property

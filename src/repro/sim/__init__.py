@@ -11,7 +11,13 @@ from .engine import Engine, Event
 from .resources import Resource, ResourceSet
 from .ops import OpKind, Cause, OpRecord
 from .timing import TimingModel
-from .simulator import Simulator, SimulationResult, replay
+from .simulator import (
+    ClosedLoopReplay,
+    OpenLoopReplay,
+    SimulationResult,
+    Simulator,
+    replay,
+)
 
 __all__ = [
     "Engine",
@@ -22,6 +28,8 @@ __all__ = [
     "Cause",
     "OpRecord",
     "TimingModel",
+    "ClosedLoopReplay",
+    "OpenLoopReplay",
     "Simulator",
     "SimulationResult",
     "replay",

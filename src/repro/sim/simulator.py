@@ -123,6 +123,13 @@ class SimulationResult:
     lat_p90_ms: Ms = 0.0
     lat_p99_ms: Ms = 0.0
 
+    # Fleet provenance (repro.fleet).  ``-1`` — and bit-identical to
+    # pre-fleet results — unless the result came out of a fleet device
+    # cell, in which case they record which device produced it and the
+    # last fleet epoch it covers.
+    fleet_device: int = -1
+    fleet_epoch: int = -1
+
     # -- headline metrics -------------------------------------------------
 
     @property
@@ -303,62 +310,87 @@ def _apply_fault_stats(result: SimulationResult, ftl) -> None:
     result.recovery_ms = s.recovery_ms
 
 
-class Simulator:
-    """Replays traces against one FTL instance."""
+def _source_chunks(source) -> "tuple[str, object]":
+    """``(name, iterable-of-Trace-chunks)`` for a trace or stream.
+
+    An in-memory :class:`Trace` becomes a single whole-trace chunk —
+    *not* sliced — so the historical one-shot replay path runs exactly
+    one ``feed()`` over exactly the arrays it always ran over.
+    """
+    if isinstance(source, Trace):
+        return source.name, (source,)
+    chunks = getattr(source, "chunks", None)
+    if chunks is None:
+        raise SimulationError(
+            f"cannot replay {type(source).__name__}: expected a Trace or "
+            f"a TraceStream with a chunks() method")
+    return source.name, chunks()
+
+
+class OpenLoopReplay:
+    """Resumable open-loop replay: feed trace chunks, harvest a result.
+
+    The checkpointable unit of :mod:`repro.fleet`: everything a paused
+    replay needs to continue bit-identically lives on this object — the
+    FTL (and through it the flash arrays and any fault plan), the
+    chip/channel resource clocks, and the explicit loop-carry state
+    (simulated clock, power-loss horizon, the running raw-bit-error
+    accumulator whose float addition order must not change).  Pickling
+    the driver therefore *is* the checkpoint payload.
+
+    ``feed()`` replays one chunk; chunk boundaries are invisible to the
+    simulation (every per-request quantity is computed elementwise), so
+    any chunking of a trace yields byte-identical results to a single
+    whole-trace feed.  Latencies accumulate per chunk and can be drained
+    between feeds (:meth:`drain_window`) for epoch-windowed metrics.
+    """
 
     def __init__(self, ftl, config: SSDConfig | None = None,
+                 timing: TimingModel | None = None,
+                 resources: ResourceSet | None = None,
                  observer=None, idle_gc: bool = False,
                  idle_threshold_ms: Ms = 2.0):
         self.ftl = ftl
         self.config = config if config is not None else ftl.config
-        #: Optional callable ``(request_index, now_ms)`` invoked after each
-        #: request is serviced (e.g. a metrics TimelineRecorder).
+        self.timing = timing if timing is not None else TimingModel(
+            self.config, ecc=ftl.ecc, rber=ftl.rber)
+        self.resources = (resources if resources is not None
+                          else ResourceSet(ftl.geometry))
         self.observer = observer
-        #: Run GC to its restore watermark inside arrival gaps longer than
-        #: ``idle_threshold_ms`` (background idle-time collection).
         self.idle_gc = idle_gc
         self.idle_threshold_ms = idle_threshold_ms
-        self.geometry = ftl.geometry
-        self.timing = TimingModel(self.config, ecc=ftl.ecc, rber=ftl.rber)
-        self.resources = ResourceSet(self.geometry)
-        self.engine = Engine()
-        self._subpage_bits = self.geometry.subpage_size * 8
+        self._subpage_bits = ftl.geometry.subpage_size * 8
 
-    def run(self, trace: Trace) -> SimulationResult:
-        """Replay ``trace`` and aggregate the paper's metrics.
+        # Loop-carry state (everything the historical monolithic loop
+        # kept in locals across iterations).
+        self.n = 0
+        self.now = 0.0
+        self.last_arrival = 0.0
+        self.read_raw_errors = 0.0
+        self.read_bits = 0
+        faults_plan = getattr(ftl, "faults", None)
+        # One float compare per request when power loss is disabled.
+        self.next_power_loss = (faults_plan.next_power_loss(0.0)
+                                if faults_plan is not None else math.inf)
+        # Per-chunk latency/direction arrays since the last drain.
+        self._window_lat: list[np.ndarray] = []
+        self._window_iw: list[np.ndarray] = []
+        # Drained windows, kept so result() still covers the whole run.
+        self._done_lat: list[np.ndarray] = []
+        self._done_iw: list[np.ndarray] = []
 
-        :class:`~repro.traces.model.Trace` guarantees nondecreasing
-        ``times_ms`` and an open-loop replay only ever schedules arrival
-        events, so the event heap is pure overhead here: a direct
-        chronological loop visits requests in exactly the order the
-        engine would (time, then insertion order) and produces identical
-        results.  :class:`~repro.sim.engine.Engine` remains the kernel for
-        anything that schedules events dynamically.
-        """
-        wall_start = time.perf_counter()
-        # The replay allocates heavily (one record per physical op) but
-        # creates no reference cycles; pausing the cyclic collector for
-        # the loop avoids its periodic full-heap scans.
-        gc_was_enabled = gc.isenabled()
-        if gc_was_enabled:
-            gc.disable()
-        try:
-            return self._run_open(trace, wall_start)
-        finally:
-            if gc_was_enabled:
-                gc.enable()
-
-    def _run_open(self, trace: Trace, wall_start: float) -> SimulationResult:
+    def feed(self, trace: Trace) -> None:
+        """Replay one chunk (absolute timestamps, arrival order)."""
         n = len(trace)
         latencies = np.zeros(n, dtype=np.float64)
         is_write = trace.is_write
-        read_raw_errors = 0.0
-        read_bits = 0
+        read_raw_errors = self.read_raw_errors
+        read_bits = self.read_bits
 
         resources = self.resources
         ftl = self.ftl
         timing = self.timing
-        byte_range_to_lsns = self.geometry.byte_range_to_lsns
+        byte_range_to_lsns = ftl.geometry.byte_range_to_lsns
         pipelined = self.config.timing.pipelined_bus
         observer = self.observer
         idle_gc = self.idle_gc
@@ -370,9 +402,8 @@ class Simulator:
         acquire_pipelined = resources.acquire_pipelined
         hostlike = (Cause.HOST, Cause.TRANSLATION)
         faults_plan = getattr(ftl, "faults", None)
-        # One float compare per request when power loss is disabled.
-        next_power_loss = (faults_plan.next_power_loss(0.0)
-                           if faults_plan is not None else math.inf)
+        next_power_loss = self.next_power_loss
+        base_index = self.n
 
         pair = resources._pair
         erase_ms = timing._erase_ms
@@ -416,9 +447,9 @@ class Simulator:
         writes = is_write.tolist()
         # Vectorized byte_range_to_lsns: the replay touches every request,
         # so the extent arithmetic (two integer divisions per request) is
-        # done once on the whole trace instead of per-call.  Validation
+        # done once on the whole chunk instead of per-call.  Validation
         # matches Geometry.byte_range_to_lsns.
-        subpage_size = self.geometry.config.subpage_size
+        subpage_size = ftl.geometry.config.subpage_size
         offs_arr = np.asarray(trace.offsets)
         size_arr = np.asarray(trace.sizes)
         if len(offs_arr) and (offs_arr.min() < 0 or size_arr.min() <= 0):
@@ -426,8 +457,8 @@ class Simulator:
                 byte_range_to_lsns(offsets[i], sizes[i])
         firsts = (offs_arr // subpage_size).tolist()
         lasts = ((offs_arr + size_arr - 1) // subpage_size + 1).tolist()
-        last_arrival = 0.0
-        now = 0.0
+        last_arrival = self.last_arrival
+        now = self.now
         for i in range(n):
             now = times[i]
             while now >= next_power_loss:
@@ -466,54 +497,122 @@ class Simulator:
                 reserve(op, now)
             latencies[i] = complete - now
             if observer is not None:
-                observer(i, now)
+                observer(base_index + i, now)
 
+        self.n = base_index + n
+        self.now = now
+        self.last_arrival = last_arrival
+        self.next_power_loss = next_power_loss
+        self.read_raw_errors = read_raw_errors
+        self.read_bits = read_bits
+        if n:
+            self._window_lat.append(latencies)
+            self._window_iw.append(np.asarray(is_write))
+
+    def drain_window(self) -> tuple[np.ndarray, np.ndarray]:
+        """Pop the ``(latencies, is_write)`` accumulated since last drain.
+
+        Epoch-windowed campaigns call this between feeds so per-epoch
+        latency distributions come out without holding the whole run's
+        arrays; the popped windows still count toward :meth:`result`.
+        """
+        lat = (np.concatenate(self._window_lat) if self._window_lat
+               else np.zeros(0, dtype=np.float64))
+        iw = (np.concatenate(self._window_iw) if self._window_iw
+              else np.zeros(0, dtype=bool))
+        self._done_lat.extend(self._window_lat)
+        self._done_iw.extend(self._window_iw)
+        self._window_lat = []
+        self._window_iw = []
+        return lat, iw
+
+    def result(self, trace_name: str, wall_seconds: float = 0.0,
+               ) -> SimulationResult:
+        """Harvest the run-so-far into a :class:`SimulationResult`."""
+        parts_lat = self._done_lat + self._window_lat
+        parts_iw = self._done_iw + self._window_iw
+        latencies = (np.concatenate(parts_lat) if parts_lat
+                     else np.zeros(0, dtype=np.float64))
+        is_write = (np.concatenate(parts_iw) if parts_iw
+                    else np.zeros(0, dtype=bool))
         return collect_result(
-            ftl, self.config,
-            trace_name=trace.name,
-            n_requests=n,
-            sim_time_ms=now,
-            wall_seconds=time.perf_counter() - wall_start,
+            self.ftl, self.config,
+            trace_name=trace_name,
+            n_requests=self.n,
+            sim_time_ms=self.now,
+            wall_seconds=wall_seconds,
             read_latencies=latencies[~is_write],
             write_latencies=latencies[is_write],
-            read_raw_errors=read_raw_errors,
-            read_bits=read_bits,
+            read_raw_errors=self.read_raw_errors,
+            read_bits=self.read_bits,
         )
 
-    def run_closed(self, trace: Trace, queue_depth: int = 8) -> SimulationResult:
-        """Closed-loop replay: ignore trace timestamps and keep at most
-        ``queue_depth`` requests outstanding.
 
-        The standard alternative to open-loop timestamp replay — it
-        measures the device's sustainable behaviour rather than its
-        response to a fixed arrival process.  Request ``i`` issues when
-        request ``i - queue_depth`` completes (FTL state still mutates in
-        issue order, as on a real command queue).
-        """
+class ClosedLoopReplay:
+    """Resumable closed-loop replay (fixed queue depth, no timestamps).
+
+    Same checkpoint contract as :class:`OpenLoopReplay`; the extra carry
+    state is the completion ring of the last ``queue_depth`` requests
+    (request ``i`` issues when ``i - queue_depth`` completes) and the
+    running maximum completion time (completions are not monotonic, so
+    the final ``sim_time_ms`` must be carried, not recomputed).
+    """
+
+    def __init__(self, ftl, queue_depth: int = 8,
+                 config: SSDConfig | None = None,
+                 timing: TimingModel | None = None,
+                 resources: ResourceSet | None = None,
+                 observer=None):
         if queue_depth < 1:
-            raise SimulationError(f"queue_depth must be >= 1, got {queue_depth}")
-        wall_start = time.perf_counter()
+            raise SimulationError(
+                f"queue_depth must be >= 1, got {queue_depth}")
+        self.ftl = ftl
+        self.queue_depth = queue_depth
+        self.config = config if config is not None else ftl.config
+        self.timing = timing if timing is not None else TimingModel(
+            self.config, ecc=ftl.ecc, rber=ftl.rber)
+        self.resources = (resources if resources is not None
+                          else ResourceSet(ftl.geometry))
+        self.observer = observer
+        self._subpage_bits = ftl.geometry.subpage_size * 8
+
+        self.n = 0
+        self.now = 0.0
+        self.max_completion = 0.0
+        self.read_raw_errors = 0.0
+        self.read_bits = 0
+        #: Completions of the last ``queue_depth`` requests, oldest first.
+        self.ring: list[float] = []
+        self._window_lat: list[np.ndarray] = []
+        self._window_iw: list[np.ndarray] = []
+        self._done_lat: list[np.ndarray] = []
+        self._done_iw: list[np.ndarray] = []
+
+    def feed(self, trace: Trace) -> None:
+        """Replay one chunk at the fixed queue depth."""
         n = len(trace)
         latencies = np.zeros(n, dtype=np.float64)
-        completions = np.zeros(n, dtype=np.float64)
         is_write = trace.is_write
-        read_raw_errors = 0.0
-        read_bits = 0
+        read_raw_errors = self.read_raw_errors
+        read_bits = self.read_bits
+        queue_depth = self.queue_depth
+        ring = self.ring
+        max_completion = self.max_completion
 
         resources = self.resources
         ftl = self.ftl
         timing = self.timing
-        byte_range_to_lsns = self.geometry.byte_range_to_lsns
+        byte_range_to_lsns = ftl.geometry.byte_range_to_lsns
         pipelined = self.config.timing.pipelined_bus
         observer = self.observer
-        idle_gc = self.idle_gc
-        idle_threshold = self.idle_threshold_ms
-        last_arrival = [0.0]
-        now = 0.0
+        base_index = self.n
+        now = self.now
 
         for i in range(n):
-            if i >= queue_depth:
-                now = max(now, completions[i - queue_depth])
+            if len(ring) >= queue_depth:
+                head = ring.pop(0)
+                if head > now:
+                    now = head
             lsns = list(byte_range_to_lsns(int(trace.offsets[i]),
                                            int(trace.sizes[i])))
             write = bool(is_write[i])
@@ -548,22 +647,126 @@ class Simulator:
                 else:
                     resources.acquire_for_block(
                         op.block_id, now, timing.duration_ms(op))
-            completions[i] = complete
+            ring.append(complete)
+            if complete > max_completion:
+                max_completion = complete
             latencies[i] = complete - now
             if observer is not None:
-                observer(i, now)
+                observer(base_index + i, now)
 
+        self.n = base_index + n
+        self.now = now
+        self.max_completion = max_completion
+        self.read_raw_errors = read_raw_errors
+        self.read_bits = read_bits
+        if n:
+            self._window_lat.append(latencies)
+            self._window_iw.append(np.asarray(is_write))
+
+    # Shared window/result plumbing (identical contract to the open loop).
+    drain_window = OpenLoopReplay.drain_window
+
+    def result(self, trace_name: str, wall_seconds: float = 0.0,
+               ) -> SimulationResult:
+        """Harvest the run-so-far into a :class:`SimulationResult`."""
+        parts_lat = self._done_lat + self._window_lat
+        parts_iw = self._done_iw + self._window_iw
+        latencies = (np.concatenate(parts_lat) if parts_lat
+                     else np.zeros(0, dtype=np.float64))
+        is_write = (np.concatenate(parts_iw) if parts_iw
+                    else np.zeros(0, dtype=bool))
         return collect_result(
-            ftl, self.config,
-            trace_name=trace.name,
-            n_requests=n,
-            sim_time_ms=float(completions.max()) if n else 0.0,
-            wall_seconds=time.perf_counter() - wall_start,
+            self.ftl, self.config,
+            trace_name=trace_name,
+            n_requests=self.n,
+            sim_time_ms=self.max_completion if self.n else 0.0,
+            wall_seconds=wall_seconds,
             read_latencies=latencies[~is_write],
             write_latencies=latencies[is_write],
-            read_raw_errors=read_raw_errors,
-            read_bits=read_bits,
+            read_raw_errors=self.read_raw_errors,
+            read_bits=self.read_bits,
         )
+
+
+class Simulator:
+    """Replays traces (or trace streams) against one FTL instance."""
+
+    def __init__(self, ftl, config: SSDConfig | None = None,
+                 observer=None, idle_gc: bool = False,
+                 idle_threshold_ms: Ms = 2.0):
+        self.ftl = ftl
+        self.config = config if config is not None else ftl.config
+        #: Optional callable ``(request_index, now_ms)`` invoked after each
+        #: request is serviced (e.g. a metrics TimelineRecorder).
+        self.observer = observer
+        #: Run GC to its restore watermark inside arrival gaps longer than
+        #: ``idle_threshold_ms`` (background idle-time collection).
+        self.idle_gc = idle_gc
+        self.idle_threshold_ms = idle_threshold_ms
+        self.geometry = ftl.geometry
+        self.timing = TimingModel(self.config, ecc=ftl.ecc, rber=ftl.rber)
+        self.resources = ResourceSet(self.geometry)
+        self.engine = Engine()
+        self._subpage_bits = self.geometry.subpage_size * 8
+
+    def run(self, trace) -> SimulationResult:
+        """Replay a :class:`Trace` or ``TraceStream``, aggregate metrics.
+
+        :class:`~repro.traces.model.Trace` guarantees nondecreasing
+        ``times_ms`` and an open-loop replay only ever schedules arrival
+        events, so the event heap is pure overhead here: a direct
+        chronological loop visits requests in exactly the order the
+        engine would (time, then insertion order) and produces identical
+        results.  :class:`~repro.sim.engine.Engine` remains the kernel for
+        anything that schedules events dynamically.
+
+        A stream is replayed chunk by chunk through the identical loop
+        (:class:`OpenLoopReplay`): only one chunk's request columns are
+        ever resident, and the results are byte-identical to a
+        materialised replay of the same requests.
+        """
+        wall_start = time.perf_counter()
+        # The replay allocates heavily (one record per physical op) but
+        # creates no reference cycles; pausing the cyclic collector for
+        # the loop avoids its periodic full-heap scans.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            name, chunks = _source_chunks(trace)
+            driver = OpenLoopReplay(
+                self.ftl, self.config, timing=self.timing,
+                resources=self.resources, observer=self.observer,
+                idle_gc=self.idle_gc,
+                idle_threshold_ms=self.idle_threshold_ms)
+            for chunk in chunks:
+                driver.feed(chunk)
+            return driver.result(
+                name, wall_seconds=time.perf_counter() - wall_start)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def run_closed(self, trace, queue_depth: int = 8) -> SimulationResult:
+        """Closed-loop replay: ignore trace timestamps and keep at most
+        ``queue_depth`` requests outstanding.
+
+        The standard alternative to open-loop timestamp replay — it
+        measures the device's sustainable behaviour rather than its
+        response to a fixed arrival process.  Request ``i`` issues when
+        request ``i - queue_depth`` completes (FTL state still mutates in
+        issue order, as on a real command queue).  Accepts streams under
+        the same chunking contract as :meth:`run`.
+        """
+        wall_start = time.perf_counter()
+        name, chunks = _source_chunks(trace)
+        driver = ClosedLoopReplay(
+            self.ftl, queue_depth, self.config, timing=self.timing,
+            resources=self.resources, observer=self.observer)
+        for chunk in chunks:
+            driver.feed(chunk)
+        return driver.result(
+            name, wall_seconds=time.perf_counter() - wall_start)
 
 
 def replay(ftl, trace: Trace, config: SSDConfig | None = None) -> SimulationResult:

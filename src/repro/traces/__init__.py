@@ -11,14 +11,17 @@ files are not redistributable, so this package provides:
   buckets, hot-address ratio),
 * :mod:`repro.traces.msr` — a parser for the real MSR-Cambridge CSV format
   for users who have the original files,
+* :mod:`repro.traces.stream` — the chunked :class:`TraceStream` protocol
+  behind constant-memory replay of arbitrarily long traces,
 * :mod:`repro.traces.stats` — characterisation used to regenerate
   Tables 1 and 3 from any trace.
 """
 
 from .model import Trace, TraceRequest, OpType
 from .profiles import TraceProfile, PROFILES, profile
-from .synth import SyntheticTraceGenerator, generate
-from .msr import parse_msr_csv
+from .stream import InMemoryStream, MergedStream, TraceStream, materialize
+from .synth import SyntheticStream, SyntheticTraceGenerator, generate
+from .msr import MsrStream, parse_msr_csv
 from .stats import TraceStats, characterize, update_size_buckets
 
 __all__ = [
@@ -28,8 +31,14 @@ __all__ = [
     "TraceProfile",
     "PROFILES",
     "profile",
+    "InMemoryStream",
+    "MergedStream",
+    "MsrStream",
+    "SyntheticStream",
     "SyntheticTraceGenerator",
+    "TraceStream",
     "generate",
+    "materialize",
     "parse_msr_csv",
     "TraceStats",
     "characterize",

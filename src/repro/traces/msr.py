@@ -15,12 +15,13 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator
 
 import numpy as np
 
 from ..errors import TraceError
 from .model import Trace
+from .stream import DEFAULT_CHUNK_REQUESTS as _DEFAULT_CHUNK_REQUESTS
 
 #: Windows filetime ticks per millisecond.
 _TICKS_PER_MS = 10_000
@@ -94,6 +95,93 @@ def parse_msr_csv(
         np.asarray(sizes, dtype=np.int64)[order],
         name=trace_name,
     )
+
+
+class MsrStream:
+    """Constant-memory chunked reader for a *time-sorted* MSR CSV file.
+
+    Implements the :class:`~repro.traces.stream.TraceStream` contract:
+    every ``chunks()`` call reopens the file, so iteration is repeatable
+    (the property checkpoint fast-forward relies on).  Only one chunk of
+    parsed rows is ever resident — the reason this exists: the eager
+    :func:`parse_msr_csv` buffers the whole file to sort it, which a
+    week-long trace does not fit.
+
+    Sortedness is therefore a *requirement* here, checked row by row: a
+    timestamp going backwards raises :class:`TraceError` (fall back to
+    the eager parser for unsorted files).  For sorted files the emitted
+    requests are byte-identical to ``parse_msr_csv`` — same rebase
+    arithmetic (integer tick subtraction, then one float division), and
+    a stable argsort of an already-sorted column is the identity.
+    """
+
+    def __init__(self, path: "str | Path", name: str | None = None,
+                 max_requests: int | None = None,
+                 chunk_requests: int = _DEFAULT_CHUNK_REQUESTS):
+        if chunk_requests < 1:
+            raise TraceError(
+                f"chunk_requests must be >= 1, got {chunk_requests}")
+        self.path = Path(path)
+        self.name = name or self.path.stem
+        self.max_requests = max_requests
+        self.chunk_requests = chunk_requests
+
+    def chunks(self) -> "Iterator[Trace]":
+        name = self.name
+        limit = self.max_requests
+        step = self.chunk_requests
+        t0: int | None = None
+        prev = 0
+        parsed = 0
+        times: list[float] = []
+        writes: list[bool] = []
+        offsets: list[int] = []
+        sizes: list[int] = []
+        emitted = False
+        with open(self.path, "r", newline="") as handle:
+            reader = csv.reader(handle)
+            for lineno, row in enumerate(reader, start=1):
+                if not row or row[0].startswith("#"):
+                    continue
+                if len(row) < 6:
+                    raise TraceError(
+                        f"{name}:{lineno}: expected >=6 fields, got {len(row)}")
+                try:
+                    ts = int(row[0])
+                    op = row[3].strip().lower()
+                    offset = int(row[4])
+                    size = int(row[5])
+                except ValueError as exc:
+                    raise TraceError(
+                        f"{name}:{lineno}: malformed field ({exc})") from None
+                if op not in ("read", "write", "r", "w"):
+                    raise TraceError(f"{name}:{lineno}: unknown op {row[3]!r}")
+                if size <= 0 or offset < 0:
+                    raise TraceError(
+                        f"{name}:{lineno}: invalid extent {offset}+{size}")
+                if t0 is None:
+                    t0 = ts
+                elif ts < prev:
+                    raise TraceError(
+                        f"{name}:{lineno}: timestamps go backwards "
+                        f"({ts} after {prev}); streaming requires a "
+                        f"time-sorted file — use parse_msr_csv to sort")
+                prev = ts
+                times.append((ts - t0) / _TICKS_PER_MS)
+                writes.append(op.startswith("w"))
+                offsets.append(offset)
+                sizes.append(size)
+                parsed += 1
+                if len(times) >= step:
+                    yield Trace(times, writes, offsets, sizes, name=name)
+                    emitted = True
+                    times, writes, offsets, sizes = [], [], [], []
+                if limit is not None and parsed >= limit:
+                    break
+        if parsed == 0:
+            raise TraceError(f"{name}: no requests parsed")
+        if times or not emitted:
+            yield Trace(times, writes, offsets, sizes, name=name)
 
 
 def write_msr_csv(trace: Trace, destination: "str | Path | io.TextIOBase") -> None:

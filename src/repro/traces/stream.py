@@ -1,0 +1,182 @@
+"""Streaming trace replay: iterate a trace as bounded-size chunks.
+
+A :class:`TraceStream` is the constant-memory counterpart of a fully
+materialised :class:`~repro.traces.model.Trace`: instead of holding every
+request in memory at once it yields the trace as a sequence of *chunks*
+(each chunk itself a small ``Trace`` carrying absolute timestamps), so a
+replay of an arbitrarily long trace only ever holds one chunk of request
+columns plus the simulator state.
+
+Contracts every stream must honour (the replay drivers and the
+checkpoint fast-forward logic in :mod:`repro.fleet` rely on them):
+
+* **Determinism** — ``chunks()`` is re-iterable: every fresh iteration
+  yields the same chunk sequence, byte for byte.  Checkpoint restore
+  fast-forwards a stream by regenerating it and discarding the chunks a
+  snapshot already consumed, so a stream that cannot replay itself
+  cannot be resumed.
+* **Global time order** — concatenating the chunks in order yields one
+  valid trace: times are non-decreasing *across* chunk boundaries, and
+  chunk timestamps are absolute (never chunk-relative).
+* **Bounded chunks** — each chunk holds at most the stream's configured
+  ``chunk_requests`` rows (the last may be shorter; empty chunks are
+  allowed so aligned multi-stream iteration can keep lockstep).
+
+:func:`materialize` folds a stream back into one in-memory ``Trace`` —
+the bridge for callers that still want the old interface — and
+:class:`MergedStream` interleaves several tenant streams into one
+arrival process by timestamp, the multi-tenant mixing primitive of
+:mod:`repro.fleet`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..errors import TraceError
+from .model import Trace
+
+__all__ = [
+    "DEFAULT_CHUNK_REQUESTS", "TraceStream", "InMemoryStream",
+    "MergedStream", "materialize",
+]
+
+#: Default rows per chunk: large enough that per-chunk python overhead
+#: (list conversions, loop setup) is negligible next to per-request
+#: simulation work, small enough that a chunk's columns stay a few MiB.
+DEFAULT_CHUNK_REQUESTS = 65_536
+
+
+def _check_chunk_requests(chunk_requests: int) -> int:
+    if chunk_requests < 1:
+        raise TraceError(
+            f"chunk_requests must be >= 1, got {chunk_requests}")
+    return int(chunk_requests)
+
+
+@runtime_checkable
+class TraceStream(Protocol):
+    """Iterable-of-chunks view of one trace (see module contracts)."""
+
+    name: str
+
+    def chunks(self) -> Iterator[Trace]:
+        """Yield the trace as consecutive bounded-size ``Trace`` chunks."""
+        ...  # pragma: no cover - protocol
+
+
+class InMemoryStream:
+    """Adapt a materialised :class:`Trace` to the stream interface.
+
+    Used by the replay drivers to funnel plain ``Trace`` arguments
+    through the exact same chunked code path as true streams, and by
+    tests to force arbitrary chunk boundaries over a known trace.
+    """
+
+    def __init__(self, trace: Trace, chunk_requests: int = DEFAULT_CHUNK_REQUESTS):
+        self.trace = trace
+        self.chunk_requests = _check_chunk_requests(chunk_requests)
+        self.name = trace.name
+
+    def chunks(self) -> Iterator[Trace]:
+        trace = self.trace
+        step = self.chunk_requests
+        n = len(trace)
+        for lo in range(0, n, step):
+            hi = min(lo + step, n)
+            yield Trace(trace.times_ms[lo:hi], trace.is_write[lo:hi],
+                        trace.offsets[lo:hi], trace.sizes[lo:hi],
+                        name=trace.name)
+        if n == 0:
+            yield trace
+
+
+def materialize(stream: "TraceStream | Trace") -> Trace:
+    """Concatenate a stream's chunks into one in-memory :class:`Trace`."""
+    if isinstance(stream, Trace):
+        return stream
+    parts = [c for c in stream.chunks() if len(c)]
+    if not parts:
+        empty = np.zeros(0)
+        return Trace(empty, empty.astype(bool), empty.astype(np.int64),
+                     empty.astype(np.int64), name=stream.name)
+    return Trace(
+        np.concatenate([c.times_ms for c in parts]),
+        np.concatenate([c.is_write for c in parts]),
+        np.concatenate([c.offsets for c in parts]),
+        np.concatenate([c.sizes for c in parts]),
+        name=stream.name,
+    )
+
+
+class MergedStream:
+    """Interleave several streams into one arrival process by timestamp.
+
+    Ties break by stream position (earlier stream wins), and requests of
+    one stream never reorder relative to each other — the merge is the
+    stable k-way counterpart of ``argsort(times, kind="stable")`` over
+    the concatenated columns, evaluated without materialising them.
+    Exact float comparison keeps the merge deterministic: the timestamps
+    flow through unchanged, so two iterations see identical keys.
+    """
+
+    def __init__(self, streams: "list[TraceStream]",
+                 chunk_requests: int = DEFAULT_CHUNK_REQUESTS,
+                 name: str = "merged"):
+        if not streams:
+            raise TraceError("MergedStream needs at least one stream")
+        self.streams = list(streams)
+        self.chunk_requests = _check_chunk_requests(chunk_requests)
+        self.name = name
+
+    def chunks(self) -> Iterator[Trace]:
+        # Per-stream cursor: the current chunk's columns and a position.
+        iters = [s.chunks() for s in self.streams]
+        cols: list[tuple | None] = [None] * len(iters)
+        pos = [0] * len(iters)
+
+        def advance(s: int) -> bool:
+            """Load ``s``'s next non-empty chunk; False when exhausted."""
+            for chunk in iters[s]:
+                if len(chunk):
+                    cols[s] = (chunk.times_ms, chunk.is_write,
+                               chunk.offsets, chunk.sizes)
+                    pos[s] = 0
+                    return True
+            cols[s] = None
+            return False
+
+        heap: list[tuple[float, int]] = []
+        for s in range(len(iters)):
+            if advance(s):
+                heapq.heappush(heap, (float(cols[s][0][0]), s))
+
+        step = self.chunk_requests
+        times: list[float] = []
+        writes: list[bool] = []
+        offsets: list[int] = []
+        sizes: list[int] = []
+        emitted = False
+        while heap:
+            t, s = heapq.heappop(heap)
+            ct, cw, co, cs = cols[s]
+            i = pos[s]
+            times.append(t)
+            writes.append(bool(cw[i]))
+            offsets.append(int(co[i]))
+            sizes.append(int(cs[i]))
+            pos[s] = i + 1
+            if pos[s] >= len(ct):
+                if advance(s):
+                    heapq.heappush(heap, (float(cols[s][0][0]), s))
+            else:
+                heapq.heappush(heap, (float(ct[i + 1]), s))
+            if len(times) >= step:
+                yield Trace(times, writes, offsets, sizes, name=self.name)
+                emitted = True
+                times, writes, offsets, sizes = [], [], [], []
+        if times or not emitted:
+            yield Trace(times, writes, offsets, sizes, name=self.name)

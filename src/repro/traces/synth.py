@@ -25,6 +25,7 @@ exponential inter-arrivals.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from ..rng import make_rng
 from ..units import KIB, Bytes, Ms
 from .model import Trace
 from .profiles import TraceProfile
+from .stream import DEFAULT_CHUNK_REQUESTS
 
 #: Subpage granularity all sizes/offsets align to.
 _ALIGN = 4 * KIB
@@ -110,6 +112,9 @@ class SyntheticTraceGenerator:
             raise TraceError("n_requests must be >= 1")
         self.mean_interarrival_ms = mean_interarrival_ms
         self.rng = make_rng(seed, key=f"trace:{profile.name}")
+        #: Root seed, kept so :meth:`stream` can hand out re-iterable
+        #: chunked views of the same design.
+        self._seed = seed
         self.extents: ExtentTable | None = None
 
     # -- sampling helpers ---------------------------------------------------
@@ -343,8 +348,17 @@ class SyntheticTraceGenerator:
 
     # -- generation --------------------------------------------------------------
 
-    def generate(self) -> Trace:
-        """Build the trace."""
+    def _design(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Run the constructive design phase and return the event columns.
+
+        Consumes the generator's RNG in exactly the order the historical
+        monolithic ``generate()`` did, so the returned
+        ``(times, is_write, offsets, sizes)`` arrays are byte-identical
+        to the columns of the trace it used to build.  ``generate()``
+        wraps them in one :class:`Trace`; :meth:`iter_chunks` slices
+        them into bounded chunks without re-drawing anything — the
+        design decides, emission only reads.
+        """
         n_total = self.n_requests
         n_writes = min(max(int(round(n_total * self.profile.write_ratio)), 1), n_total)
         n_reads = n_total - n_writes
@@ -419,8 +433,80 @@ class SyntheticTraceGenerator:
         order = np.argsort(all_keys, kind="stable")
 
         times = np.cumsum(self.rng.exponential(self.mean_interarrival_ms, size=n_total))
-        return Trace(times, is_write_all[order], all_off[order], all_sz[order],
-                     name=self.profile.name)
+        return times, is_write_all[order], all_off[order], all_sz[order]
+
+    def generate(self) -> Trace:
+        """Build the trace."""
+        times, is_write, offsets, sizes = self._design()
+        return Trace(times, is_write, offsets, sizes, name=self.profile.name)
+
+    def iter_chunks(self, chunk_requests: int = DEFAULT_CHUNK_REQUESTS,
+                    ) -> "Iterator[Trace]":
+        """Yield the trace as bounded chunks (lazy per-chunk emission).
+
+        The design phase still runs once up front (its numpy columns are
+        compact — a few dozen bytes per request), but the per-chunk
+        ``Trace`` objects and everything downstream of them (the
+        replay's python-list conversions, LSN expansion) are bounded by
+        ``chunk_requests`` instead of the trace length.  Chunk ``k``
+        holds rows ``[k * chunk_requests, (k+1) * chunk_requests)`` of
+        :meth:`generate`'s trace, timestamps absolute — concatenating
+        the chunks reproduces ``generate()`` byte-identically.
+        """
+        if chunk_requests < 1:
+            raise TraceError(
+                f"chunk_requests must be >= 1, got {chunk_requests}")
+        times, is_write, offsets, sizes = self._design()
+        name = self.profile.name
+        for lo in range(0, len(times), chunk_requests):
+            hi = lo + chunk_requests
+            yield Trace(times[lo:hi], is_write[lo:hi], offsets[lo:hi],
+                        sizes[lo:hi], name=name)
+
+    def stream(self, chunk_requests: int = DEFAULT_CHUNK_REQUESTS,
+               ) -> "SyntheticStream":
+        """A re-iterable :class:`SyntheticStream` over this design."""
+        return SyntheticStream(
+            self.profile, n_requests=self.n_requests,
+            mean_interarrival_ms=self.mean_interarrival_ms,
+            seed=self._seed, chunk_requests=chunk_requests)
+
+
+class SyntheticStream:
+    """Re-iterable chunked view of one synthetic trace design.
+
+    Implements the :class:`~repro.traces.stream.TraceStream` contract:
+    every ``chunks()`` call builds a *fresh* generator from the stored
+    ``(profile, n_requests, interarrival, seed)`` tuple, so iteration is
+    repeatable — which is what lets a checkpoint restore fast-forward
+    the stream by regenerating it and skipping consumed chunks.
+    """
+
+    def __init__(self, profile: TraceProfile, n_requests: int | None = None,
+                 mean_interarrival_ms: Ms = 0.25, seed: int | None = None,
+                 chunk_requests: int = DEFAULT_CHUNK_REQUESTS):
+        if chunk_requests < 1:
+            raise TraceError(
+                f"chunk_requests must be >= 1, got {chunk_requests}")
+        # Validate eagerly: a bad profile/arg should fail at construction,
+        # not on first iteration inside a worker process.
+        SyntheticTraceGenerator(profile, n_requests=n_requests,
+                                mean_interarrival_ms=mean_interarrival_ms,
+                                seed=seed)
+        self.profile = profile
+        self.n_requests = n_requests
+        self.mean_interarrival_ms = mean_interarrival_ms
+        self.seed = seed
+        self.chunk_requests = chunk_requests
+        self.name = profile.name
+
+    def _generator(self) -> SyntheticTraceGenerator:
+        return SyntheticTraceGenerator(
+            self.profile, n_requests=self.n_requests,
+            mean_interarrival_ms=self.mean_interarrival_ms, seed=self.seed)
+
+    def chunks(self) -> "Iterator[Trace]":
+        return self._generator().iter_chunks(self.chunk_requests)
 
 
 def generate(

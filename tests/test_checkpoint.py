@@ -1,0 +1,228 @@
+"""Checkpoint/restore: a replay paused at any point and resumed from a
+pickle (or a checkpoint file) must continue bit-identically.
+
+This is the property the whole fleet layer leans on, so it is driven
+property-style: hypothesis sweeps the split point, seed, scheme and
+fault-injection state, and every combination must produce the same
+``deterministic_dict`` as the uninterrupted replay — not approximately,
+exactly.  Separate groups pin the numpy-view aliasing the Block pickle
+protocol must rebuild and the file-format validation of
+:mod:`repro.fleet.checkpoint` (every corruption fails loudly *before*
+the payload unpickles).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SCHEMES as factories
+from repro.faults import FaultConfig, attach_faults
+from repro.fleet.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    CheckpointStore,
+    MAGIC,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.sim import ClosedLoopReplay, OpenLoopReplay
+from repro.traces.model import Trace
+from repro.traces.profiles import profile
+from repro.traces.synth import generate
+
+from conftest import tiny_config
+
+SETTINGS = settings(max_examples=12, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+SCHEME_NAMES = ("baseline", "mga", "ipu")
+
+
+def short_trace(seed=11, n_requests=600):
+    return generate(profile("ts0"), n_requests=n_requests, seed=seed,
+                    mean_interarrival_ms=0.6)
+
+
+def split(trace: Trace, at: int) -> tuple[Trace, Trace]:
+    def cut(a, b):
+        return Trace(trace.times_ms[a:b], trace.is_write[a:b],
+                     trace.offsets[a:b], trace.sizes[a:b], name=trace.name)
+    return cut(0, at), cut(at, len(trace))
+
+
+def build_replay(scheme, seed=0, fault_rate=0.0, closed=False):
+    cfg = tiny_config(seed=seed)
+    ftl = factories[scheme](cfg)
+    if fault_rate > 0:
+        attach_faults(ftl, FaultConfig.from_rate(fault_rate), seed=seed)
+    if closed:
+        return ClosedLoopReplay(ftl, queue_depth=4, config=cfg)
+    return OpenLoopReplay(ftl, cfg)
+
+
+class TestResumeBitIdentity:
+    @SETTINGS
+    @given(scheme=st.sampled_from(SCHEME_NAMES),
+           seed=st.integers(0, 2**32 - 1),
+           frac=st.floats(0.05, 0.95),
+           fault_rate=st.sampled_from([0.0, 1.5]))
+    def test_pickle_resume_equals_uninterrupted(self, scheme, seed, frac,
+                                                fault_rate):
+        """Snapshot anywhere, resume, finish: same bytes as never pausing."""
+        trace = short_trace(seed=seed % 1000 + 1)
+        first, rest = split(trace, int(len(trace) * frac))
+
+        ref = build_replay(scheme, seed=seed, fault_rate=fault_rate)
+        ref.feed(trace)
+        expected = ref.result(trace.name).deterministic_dict()
+
+        paused = build_replay(scheme, seed=seed, fault_rate=fault_rate)
+        paused.feed(first)
+        resumed = pickle.loads(pickle.dumps(paused, protocol=5))
+        resumed.feed(rest)
+        assert resumed.result(trace.name).deterministic_dict() == expected
+
+    @SETTINGS
+    @given(seed=st.integers(0, 2**16), frac=st.floats(0.1, 0.9))
+    def test_closed_loop_resume(self, seed, frac):
+        trace = short_trace(seed=seed % 100 + 1, n_requests=400)
+        first, rest = split(trace, int(len(trace) * frac))
+
+        ref = build_replay("ipu", seed=seed, closed=True)
+        ref.feed(trace)
+        expected = ref.result(trace.name).deterministic_dict()
+
+        paused = build_replay("ipu", seed=seed, closed=True)
+        paused.feed(first)
+        resumed = pickle.loads(pickle.dumps(paused, protocol=5))
+        resumed.feed(rest)
+        assert resumed.result(trace.name).deterministic_dict() == expected
+
+    def test_frontend_resume(self):
+        """The front-end replay (write buffer + scheduler) resumes too."""
+        from repro.frontend import FrontendConfig
+        from repro.frontend.simulate import FrontendSimulator
+
+        cfg = tiny_config(seed=3)
+        trace = short_trace(seed=5, n_requests=500)
+        first, rest = split(trace, 210)
+        fc = FrontendConfig.from_qd(4)
+
+        ref = FrontendSimulator(factories["ipu"](cfg), fc, cfg)
+        expected = ref.run(trace).deterministic_dict()
+
+        paused = FrontendSimulator(factories["ipu"](cfg), fc, cfg)
+        paused.feed(first)
+        resumed = pickle.loads(pickle.dumps(paused, protocol=5))
+        resumed.feed(rest)
+        resumed.finish()
+        assert resumed.result(trace.name).deterministic_dict() == expected
+
+
+class TestViewAliasing:
+    def test_blocks_share_region_after_unpickle(self):
+        """Block's pickled views rebind onto the restored RegionState —
+        shared memory, not silent per-block copies."""
+        replay = build_replay("ipu", seed=1)
+        replay.feed(short_trace(seed=2, n_requests=300))
+        clone = pickle.loads(pickle.dumps(replay, protocol=5))
+        flash = clone.ftl.flash
+        blocks = list(flash.blocks)
+        slc = [b for b in blocks if b.is_slc]
+        assert slc, "expected SLC blocks in the tiny config"
+        region = slc[0].region
+        for block in slc:
+            assert block.region is region
+            assert np.shares_memory(block.programmed, region.programmed)
+            assert np.shares_memory(block.valid, region.valid)
+        flash.verify_region_counters()
+
+    def test_unpickled_state_equals_original(self):
+        replay = build_replay("mga", seed=9)
+        replay.feed(short_trace(seed=4, n_requests=300))
+        clone = pickle.loads(pickle.dumps(replay, protocol=5))
+        for b1, b2 in zip(replay.ftl.flash.blocks,
+                          clone.ftl.flash.blocks):
+            np.testing.assert_array_equal(b1.programmed, b2.programmed)
+            np.testing.assert_array_equal(b1.valid, b2.valid)
+            np.testing.assert_array_equal(b1.slot_lsn, b2.slot_lsn)
+
+
+class TestCheckpointFile:
+    def _roundtrip(self, tmp_path, payload, key="k1"):
+        path = tmp_path / "x.ckpt"
+        save_checkpoint(path, payload, key=key, epoch=3)
+        return path
+
+    def test_roundtrip(self, tmp_path):
+        payload = {"numbers": [1, 2, 3], "array": np.arange(5)}
+        path = self._roundtrip(tmp_path, payload)
+        header, loaded = load_checkpoint(path, key="k1")
+        assert header["epoch"] == 3
+        assert header["version"] == CHECKPOINT_VERSION
+        assert loaded["numbers"] == [1, 2, 3]
+        np.testing.assert_array_equal(loaded["array"], np.arange(5))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "absent.ckpt")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        path.write_bytes(b"not a checkpoint")
+        with pytest.raises(CheckpointError, match="magic"):
+            load_checkpoint(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        path.write_bytes(MAGIC + b"\x00")
+        with pytest.raises(CheckpointError, match="truncated"):
+            load_checkpoint(path)
+
+    def test_key_mismatch(self, tmp_path):
+        path = self._roundtrip(tmp_path, {"a": 1}, key="right")
+        with pytest.raises(CheckpointError, match="key mismatch"):
+            load_checkpoint(path, key="wrong")
+
+    def test_corrupt_payload(self, tmp_path):
+        path = self._roundtrip(tmp_path, {"a": 1})
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="digest"):
+            load_checkpoint(path, key="k1")
+
+    def test_stale_schema(self, tmp_path, monkeypatch):
+        path = self._roundtrip(tmp_path, {"a": 1})
+        import repro.experiments.cache as cache_mod
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA_VERSION", 9999)
+        with pytest.raises(CheckpointError, match="stale snapshot"):
+            load_checkpoint(path, key="k1")
+
+    def test_wrong_kind(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        save_checkpoint(path, {"a": 1}, key="k", epoch=0, kind="other")
+        with pytest.raises(CheckpointError, match="kind"):
+            load_checkpoint(path, key="k")
+
+
+class TestCheckpointStore:
+    def test_latest_epoch_scans_files(self, tmp_path):
+        store = CheckpointStore(tmp_path, key="a" * 64)
+        assert store.latest_epoch(0) is None
+        store.save(0, 1, {"v": 1})
+        store.save(0, 4, {"v": 4})
+        store.save(1, 2, {"v": 2})
+        assert store.latest_epoch(0) == 4
+        assert store.latest_epoch(1) == 2
+        assert store.load(0, 4) == {"v": 4}
+
+    def test_devices_do_not_collide(self, tmp_path):
+        store = CheckpointStore(tmp_path, key="b" * 64)
+        store.save(1, 3, {"device": 1})
+        assert store.latest_epoch(11) is None

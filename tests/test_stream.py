@@ -1,0 +1,220 @@
+"""Streaming trace replay: chunked generation, merging and replay must
+be byte-identical to the in-memory path they generalise.
+
+The contracts under test:
+
+* chunked synthetic generation reproduces ``generate()`` exactly,
+* :class:`MsrStream` reproduces the eager parser on sorted files and
+  refuses unsorted ones,
+* :class:`MergedStream` is a stable time-sort of its inputs,
+* replaying a stream through ``Simulator.run``/``run_closed`` (and the
+  front-end) equals replaying the materialised trace — including the
+  committed golden cells, which pins the streamed path to the same
+  bytes the classic path is pinned to.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import SCHEMES
+from repro.errors import SimulationError, TraceError
+from repro.experiments.runner import RunContext
+from repro.sim import Simulator
+from repro.traces import (
+    InMemoryStream,
+    MergedStream,
+    MsrStream,
+    SyntheticTraceGenerator,
+    materialize,
+    profile,
+)
+from repro.traces.model import Trace
+from repro.traces.msr import write_msr_csv
+from repro.traces.stream import DEFAULT_CHUNK_REQUESTS
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "results" / "golden"
+
+
+def small_trace(n=400, seed=11):
+    gen = SyntheticTraceGenerator(profile("ts0"), n_requests=n, seed=seed)
+    return gen.generate()
+
+
+def assert_traces_equal(a: Trace, b: Trace):
+    np.testing.assert_array_equal(a.times_ms, b.times_ms)
+    np.testing.assert_array_equal(a.is_write, b.is_write)
+    np.testing.assert_array_equal(a.offsets, b.offsets)
+    np.testing.assert_array_equal(a.sizes, b.sizes)
+
+
+class TestInMemoryStream:
+    def test_chunks_cover_trace(self):
+        trace = small_trace()
+        stream = InMemoryStream(trace, chunk_requests=64)
+        chunks = list(stream.chunks())
+        assert all(len(c) <= 64 for c in chunks)
+        assert sum(len(c) for c in chunks) == len(trace)
+        assert_traces_equal(materialize(stream), trace)
+
+    def test_reiterable(self):
+        stream = InMemoryStream(small_trace(), chunk_requests=100)
+        first = [len(c) for c in stream.chunks()]
+        second = [len(c) for c in stream.chunks()]
+        assert first == second
+
+    def test_materialize_passes_trace_through(self):
+        trace = small_trace()
+        assert materialize(trace) is trace
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(TraceError):
+            InMemoryStream(small_trace(), chunk_requests=0)
+
+
+class TestSyntheticStream:
+    def test_chunked_equals_generate(self):
+        """Lazy chunked generation is the same design, byte for byte."""
+        gen = SyntheticTraceGenerator(profile("ts0"), n_requests=777, seed=5)
+        whole = gen.generate()
+        gen2 = SyntheticTraceGenerator(profile("ts0"), n_requests=777, seed=5)
+        chunks = list(gen2.iter_chunks(chunk_requests=128))
+        assert len(chunks) == 7
+        merged = Trace(
+            np.concatenate([c.times_ms for c in chunks]),
+            np.concatenate([c.is_write for c in chunks]),
+            np.concatenate([c.offsets for c in chunks]),
+            np.concatenate([c.sizes for c in chunks]),
+        )
+        assert_traces_equal(whole, merged)
+
+    def test_stream_equals_generate(self):
+        gen = SyntheticTraceGenerator(profile("usr0"), n_requests=300, seed=2)
+        whole = gen.generate()
+        stream = gen.stream(chunk_requests=90)
+        assert_traces_equal(materialize(stream), whole)
+        # Re-iteration regenerates deterministically.
+        assert_traces_equal(materialize(stream), whole)
+
+    def test_default_chunk_size(self):
+        stream = SyntheticTraceGenerator(
+            profile("ts0"), n_requests=10, seed=1).stream()
+        assert stream.chunk_requests == DEFAULT_CHUNK_REQUESTS
+
+
+class TestMsrStream:
+    def _write(self, tmp_path, trace):
+        path = tmp_path / "trace.csv"
+        with open(path, "w", encoding="utf-8") as fh:
+            write_msr_csv(trace, fh)
+        return path
+
+    def test_equals_eager_parser(self, tmp_path):
+        from repro.traces import parse_msr_csv
+        trace = small_trace(n=250)
+        path = self._write(tmp_path, trace)
+        with open(path, encoding="utf-8") as fh:
+            eager = parse_msr_csv(fh)
+        streamed = materialize(MsrStream(path, chunk_requests=64))
+        assert_traces_equal(streamed, eager)
+
+    def test_rejects_unsorted(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("200,h,0,Write,4096,4096,0\n"
+                        "100,h,0,Read,0,4096,0\n")
+        with pytest.raises(TraceError, match="backwards"):
+            list(MsrStream(path).chunks())
+
+    def test_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceError, match="no requests"):
+            list(MsrStream(path).chunks())
+
+    def test_max_requests(self, tmp_path):
+        trace = small_trace(n=100)
+        path = self._write(tmp_path, trace)
+        streamed = materialize(MsrStream(path, max_requests=30))
+        assert len(streamed) == 30
+
+
+class TestMergedStream:
+    def test_merge_is_stable_time_sort(self):
+        traces = [small_trace(n=120, seed=s) for s in (1, 2, 3)]
+        streams = [InMemoryStream(t, chunk_requests=50) for t in traces]
+        merged = materialize(MergedStream(streams, chunk_requests=70))
+        times = np.concatenate([t.times_ms for t in traces])
+        order = np.argsort(times, kind="stable")
+        # Stable on (time, stream index): concatenation order is stream
+        # order, so argsort's tie-break matches the heap's.
+        np.testing.assert_array_equal(merged.times_ms, times[order])
+        offsets = np.concatenate([t.offsets for t in traces])
+        np.testing.assert_array_equal(merged.offsets, offsets[order])
+        assert len(merged) == sum(len(t) for t in traces)
+
+    def test_merge_single_stream_is_identity(self):
+        trace = small_trace()
+        merged = materialize(
+            MergedStream([InMemoryStream(trace, chunk_requests=64)],
+                         chunk_requests=128))
+        assert_traces_equal(merged, trace)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return RunContext(scale="smoke", seed=1)
+
+
+class TestStreamedReplay:
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_open_loop_stream_equals_trace(self, ctx, scheme):
+        trace = ctx.trace("ts0")
+        cfg = ctx.trace_config("ts0")
+        direct = Simulator(SCHEMES[scheme](cfg), cfg).run(trace)
+        streamed = Simulator(SCHEMES[scheme](cfg), cfg).run(
+            InMemoryStream(trace, chunk_requests=333))
+        assert direct.deterministic_dict() == streamed.deterministic_dict()
+
+    def test_closed_loop_stream_equals_trace(self, ctx):
+        trace = ctx.trace("ts0")
+        cfg = ctx.trace_config("ts0")
+        direct = Simulator(SCHEMES["ipu"](cfg), cfg).run_closed(
+            trace, queue_depth=4)
+        streamed = Simulator(SCHEMES["ipu"](cfg), cfg).run_closed(
+            InMemoryStream(trace, chunk_requests=251), queue_depth=4)
+        assert direct.deterministic_dict() == streamed.deterministic_dict()
+
+    def test_frontend_stream_equals_trace(self, ctx):
+        from repro.frontend import FrontendConfig
+        from repro.frontend.simulate import FrontendSimulator
+        trace = ctx.trace("ts0")
+        cfg = ctx.trace_config("ts0")
+        fc = FrontendConfig.from_qd(4)
+        direct = FrontendSimulator(SCHEMES["ipu"](cfg), fc, cfg).run(trace)
+        streamed = FrontendSimulator(SCHEMES["ipu"](cfg), fc, cfg).run(
+            InMemoryStream(trace, chunk_requests=199))
+        assert direct.deterministic_dict() == streamed.deterministic_dict()
+
+    def test_rejects_non_stream(self, ctx):
+        cfg = ctx.trace_config("ts0")
+        with pytest.raises(SimulationError):
+            Simulator(SCHEMES["ipu"](cfg), cfg).run(object())
+
+
+class TestStreamedGolden:
+    def test_streamed_replay_reproduces_golden_cells(self, ctx):
+        """The committed golden pins hold on the streamed path too."""
+        golden = json.loads((GOLDEN_DIR / "fig5_smoke.json").read_text())
+        for cell in ("ts0/ipu", "ts0/baseline"):
+            trace_name, scheme = cell.split("/")
+            trace = ctx.trace(trace_name)
+            cfg = ctx.trace_config(trace_name)
+            result = Simulator(SCHEMES[scheme](cfg), cfg).run(
+                InMemoryStream(trace, chunk_requests=500))
+            for metric, expected in golden["cells"][cell].items():
+                assert getattr(result, metric) == pytest.approx(
+                    expected, abs=1e-9), (cell, metric)
