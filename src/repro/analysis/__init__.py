@@ -21,6 +21,13 @@ Machine-checks the repository's simulation contracts (see
 ``N001``  dtype-less or narrow-float numpy construction in a
           byte-identity-gated module
 ``N002``  order-dependent reduction in a byte-identity-gated module
+``K001``  config field read inside a cached cell but missing from the
+          canonical cache key
+``K002``  ambient input (env/files/platform) read inside a cached cell
+``K003``  canonical-key emitter omits a dataclass field
+``P001``  replay-driver loop-carry state dropped by the pickle protocol
+``P002``  RegionState view pickled without a ``__setstate__`` rebind
+``P003``  unpicklable payload passed to ``ProcessPoolExecutor``
 ========  ==========================================================
 
 The U- and M-families are interprocedural: a project-wide call graph
@@ -58,6 +65,16 @@ from .core import (
 from .determinism import RandomnessRule, SetIterationRule, WallClockRule
 from .effects import MirrorColumnPairRule, TornStateWriteRule
 from .numpy_rules import DtypeDisciplineRule, ReductionOrderRule
+from .pickle_rules import (
+    ExecutorPayloadRule,
+    LoopCarryPickleRule,
+    ViewRebindRule,
+)
+from .repro_soundness import (
+    AmbientInputRule,
+    CacheKeyTaintRule,
+    CanonicalKeyCompletenessRule,
+)
 from .schema import (
     BlockCounterWriteRule,
     SchemaDriftRule,
@@ -87,6 +104,12 @@ ALL_RULES: tuple[Rule, ...] = (
     MirrorColumnPairRule(),
     DtypeDisciplineRule(),
     ReductionOrderRule(),
+    CacheKeyTaintRule(),
+    AmbientInputRule(),
+    CanonicalKeyCompletenessRule(),
+    LoopCarryPickleRule(),
+    ViewRebindRule(),
+    ExecutorPayloadRule(),
 )
 
 #: ``{rule_id: rule}`` lookup.
@@ -102,6 +125,12 @@ __all__ = [
     "MirrorColumnPairRule",
     "DtypeDisciplineRule",
     "ReductionOrderRule",
+    "CacheKeyTaintRule",
+    "AmbientInputRule",
+    "CanonicalKeyCompletenessRule",
+    "LoopCarryPickleRule",
+    "ViewRebindRule",
+    "ExecutorPayloadRule",
     "BASELINE_NAME",
     "BaselineMatch",
     "LintResult",

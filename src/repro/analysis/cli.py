@@ -12,10 +12,11 @@ unreadable baseline).
 from __future__ import annotations
 
 import argparse
+import subprocess
 from pathlib import Path
 
 from .baseline import BASELINE_NAME, apply_baseline, load_baseline, write_baseline
-from .core import run_lint
+from .core import PARSE_ERROR_RULE, run_lint
 
 
 def find_repo_root() -> Path | None:
@@ -53,6 +54,61 @@ def resolve_roots(root_arg: "str | None") -> tuple[Path, Path | None]:
     return Path(__file__).resolve().parents[1], None
 
 
+def changed_files(repo_root: Path, package_root: Path) -> "set[str] | None":
+    """Package-root-relative posix paths of ``*.py`` files changed in git.
+
+    Collects unstaged + staged edits vs ``HEAD`` and untracked files, so
+    the pre-commit hook sees exactly what the commit would introduce.
+    Returns ``None`` when git is unavailable or the directory is not a
+    work tree — callers fall back to a full run rather than silently
+    linting nothing.
+    """
+    names: list[str] = []
+    for argv in (["git", "diff", "--name-only", "HEAD"],
+                 ["git", "ls-files", "--others", "--exclude-standard"]):
+        try:
+            proc = subprocess.run(argv, cwd=repo_root, capture_output=True,
+                                  text=True, check=True, timeout=30)
+        except (OSError, subprocess.SubprocessError):
+            return None
+        names.extend(proc.stdout.splitlines())
+
+    pkg = package_root.resolve()
+    out: set[str] = set()
+    for name in names:
+        name = name.strip()
+        if not name.endswith(".py"):
+            continue
+        path = (repo_root / name).resolve()
+        try:
+            out.add(path.relative_to(pkg).as_posix())
+        except ValueError:
+            continue  # changed, but outside the linted tree
+    return out
+
+
+def baseline_rot(entries: "list[dict]", package_root: Path,
+                 known_rules: "set[str]") -> "list[str]":
+    """Human-readable problems for baseline entries that can never match.
+
+    A fingerprint for a rule that no longer exists, or for a file that
+    was deleted, would otherwise sit in ``LINT_BASELINE.json`` forever —
+    it can never be reported stale because the engine never re-derives
+    it.  The CLI treats any such entry as a configuration error (exit 2).
+    """
+    problems: list[str] = []
+    for entry in entries:
+        rule = str(entry.get("rule", ""))
+        path = str(entry.get("path", ""))
+        if rule not in known_rules:
+            problems.append(
+                f"baseline entry for unknown rule {rule!r} ({path})")
+        elif not (package_root / path).is_file():
+            problems.append(
+                f"baseline entry for deleted file {path!r} ({rule})")
+    return problems
+
+
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     """Mount the lint flags on a subparser."""
     parser.add_argument("--root", metavar="DIR",
@@ -75,6 +131,10 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline with the current "
                              "findings and exit 0")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="report only on files changed vs HEAD "
+                             "(staged, unstaged, untracked); project-wide "
+                             "rules still analyze the full tree")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
 
@@ -93,8 +153,25 @@ def cmd_lint(args: argparse.Namespace) -> int:
     select = None
     if args.select:
         select = [part.strip() for part in args.select.split(",") if part.strip()]
+
+    only: "set[str] | None" = None
+    if args.changed_only:
+        if args.update_baseline:
+            print("lint: --changed-only cannot rewrite the baseline "
+                  "(it only sees part of the tree)")
+            return 2
+        if repo_root is not None:
+            only = changed_files(repo_root, package_root)
+        if only is None:
+            print("lint: --changed-only needs a git work tree; "
+                  "running the full tree")
+        elif not only:
+            print(f"lint: no changed Python files under {package_root}")
+            return 0
+
     try:
-        result = run_lint(package_root, repo_root=repo_root, select=select)
+        result = run_lint(package_root, repo_root=repo_root, select=select,
+                          only=only)
     except ValueError as exc:
         print(f"lint: {exc}")
         return 2
@@ -123,6 +200,17 @@ def cmd_lint(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"lint: {exc}")
             return 2
+        known = {rule.id for rule in ALL_RULES} | {PARSE_ERROR_RULE}
+        problems = baseline_rot(entries, package_root, known)
+        if problems:
+            for problem in problems:
+                print(f"lint: {problem}")
+            print(f"lint: {baseline_path} has rotted — prune the entries "
+                  f"above or rerun --update-baseline")
+            return 2
+    if only is not None:
+        # Entries for unchanged files are out of scope, not stale.
+        entries = [e for e in entries if str(e.get("path", "")) in only]
     match = apply_baseline(result.violations, entries)
 
     if args.format == "sarif":

@@ -217,7 +217,8 @@ def _assign_fingerprints(violations: list[Violation],
 def run_lint(package_root: "Path | str",
              repo_root: "Path | str | None" = None,
              rules: "Sequence[Rule] | None" = None,
-             select: "Iterable[str] | None" = None) -> LintResult:
+             select: "Iterable[str] | None" = None,
+             only: "set[str] | None" = None) -> LintResult:
     """Run the analyzer over one package tree.
 
     Parameters
@@ -233,6 +234,12 @@ def run_lint(package_root: "Path | str",
     select:
         Optional whitelist of rule ids (``U001``) and/or family prefixes
         (``U`` selects every ``U``-rule, ``S`` every ``S``-rule).
+    only:
+        Optional set of package-root-relative posix paths to *report* on
+        (the ``--changed-only`` scope).  Every file is still parsed and
+        fed to project-wide rules — interprocedural dataflow must see
+        the whole tree — but per-file rules skip unlisted files and
+        project findings on unlisted files are dropped.
     """
     from . import ALL_RULES  # late import: rules import this module
 
@@ -265,11 +272,15 @@ def run_lint(package_root: "Path | str",
             src = SourceFile.load(path, package_root)
         except SyntaxError as exc:
             rel = path.relative_to(package_root).as_posix()
+            if only is not None and rel not in only:
+                continue
             violations.append(Violation(
                 PARSE_ERROR_RULE, rel, exc.lineno or 1, (exc.offset or 1) - 1,
                 f"could not parse: {exc.msg}"))
             continue
         sources[src.relpath] = src
+        if only is not None and src.relpath not in only:
+            continue
         for rule in active:
             for v in rule.check_file(src):
                 if not src.suppressed(v):
@@ -279,6 +290,8 @@ def run_lint(package_root: "Path | str",
                          sources=sources)
     for rule in active:
         for v in rule.check_project(ctx):
+            if only is not None and v.path not in only:
+                continue
             src = sources.get(v.path)
             if src is None or not src.suppressed(v):
                 violations.append(v)

@@ -1,0 +1,462 @@
+"""Checkpoint/pickle safety dataflow (rules P001–P003).
+
+The fleet layer's resume contract — a device replay pickled into a
+checkpoint resumes *bit-identically* — leans on two fragile
+conventions:
+
+* every piece of **loop-carry state** a replay driver accumulates in
+  ``feed``/``drain_window``/``finish`` must round-trip through the
+  class's pickle protocol (a ``__getstate__`` that drops one attribute
+  resumes from a silently reset counter);
+* every class holding **numpy views into**
+  :class:`~repro.nand.state.RegionState` must rebind those views in
+  ``__setstate__`` the way :class:`~repro.nand.block.Block` does
+  (``self._rebind_views()``) — default unpickling would materialise
+  private copies and the restored object graph would stop sharing
+  memory with the region arrays.
+
+Both are enforced dynamically today (``tests/test_checkpoint.py``
+resume-identity suites); this module makes them lint-time facts, plus a
+third guard on the process-pool boundary:
+
+======== ============================================================
+``P001`` a replay-driver attribute assigned in ``feed``/
+         ``drain_window``/``finish`` is dropped by the class's
+         ``__getstate__`` and never restored in ``__setstate__``, or
+         is bound to an unpicklable value (lambda, generator, open
+         handle)
+``P002`` a class assigns attributes that are views into RegionState
+         columns but its ``__setstate__`` does not rebind them (or is
+         missing entirely)
+``P003`` an unpicklable payload (lambda, closure, generator
+         expression, open handle) flows into
+         ``ProcessPoolExecutor.submit``/``map``
+======== ============================================================
+
+Like the effect pass, unresolved structure drops facts instead of
+guessing: a ``__getstate__`` whose shape the analysis cannot read
+fires nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping
+from weakref import WeakKeyDictionary
+
+from .callgraph import ClassInfo, FunctionInfo, ProjectIndex
+from .core import ProjectContext, Rule, SourceFile, Violation
+from .effects import REGION_COLUMNS, _AliasMap, _own_statements
+
+#: A class defining this method is a chunk-fed replay driver.
+DRIVER_MARKER = "feed"
+
+#: Methods whose ``self.<attr>`` assignments are loop-carry state.
+DRIVER_METHODS = ("feed", "drain_window", "finish")
+
+#: Pool constructors whose payloads must pickle.
+_POOL_CLASSES = frozenset({"ProcessPoolExecutor"})
+
+#: Array-reshaping calls that still denote a view of their receiver.
+_VIEW_WRAPPERS = frozenset({"reshape", "view"})
+
+
+def _self_assigned_attrs(fn_node: ast.FunctionDef | ast.AsyncFunctionDef,
+                         ) -> dict[str, ast.AST]:
+    """``self.<attr>`` assignment targets in one method body."""
+    out: dict[str, ast.AST] = {}
+    for stmt in _own_statements(fn_node):
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            for leaf in ast.walk(target):
+                if (isinstance(leaf, ast.Attribute)
+                        and isinstance(leaf.value, ast.Name)
+                        and leaf.value.id == "self"
+                        and isinstance(leaf.ctx, ast.Store)):
+                    out.setdefault(leaf.attr, leaf)
+    return out
+
+
+def _unpicklable_value(value: ast.expr) -> str | None:
+    """Why ``value`` cannot round-trip through pickle, if it cannot."""
+    if isinstance(value, ast.Lambda):
+        return "a lambda"
+    if isinstance(value, ast.GeneratorExp):
+        return "a generator expression"
+    if (isinstance(value, ast.Call) and isinstance(value.func, ast.Name)
+            and value.func.id == "open"):
+        return "an open file handle"
+    return None
+
+
+def _constant_str_elts(node: ast.expr) -> set[str] | None:
+    """String constants of a literal tuple/list/set, else ``None``."""
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        out = set()
+        for elt in node.elts:
+            if not (isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)):
+                return None
+            out.add(elt.value)
+        return out
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset", "tuple", "list")
+            and len(node.args) == 1):
+        return _constant_str_elts(node.args[0])
+    return None
+
+
+class PickleAnalysis:
+    """One whole-tree checkpoint-safety pass shared by P001/P002."""
+
+    def __init__(self, sources: Mapping[str, SourceFile]) -> None:
+        self.sources = sources
+        self.index = ProjectIndex.build(sources)
+        self.violations: list[Violation] = []
+        self._emitted: set[tuple[str, str, int, int, str]] = set()
+        self._check_p001()
+        self._check_p002()
+
+    # -- shared class helpers ----------------------------------------------
+
+    def _iter_classes(self) -> Iterator[ClassInfo]:
+        for relpath in sorted(self.index.modules):
+            mod = self.index.modules[relpath]
+            for name in sorted(mod.classes):
+                yield mod.classes[name]
+
+    def _aliased_methods(self, cls: ClassInfo) -> dict[str, FunctionInfo]:
+        """``name = OtherClass.method`` class-body method aliases."""
+        out: dict[str, FunctionInfo] = {}
+        module = self.index.modules.get(cls.relpath)
+        if module is None:
+            return out
+        for stmt in cls.node.body:
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Attribute)
+                    and isinstance(stmt.value.value, ast.Name)):
+                continue
+            owner = self.index.resolve_class_name(stmt.value.value.id, module)
+            if owner is None:
+                continue
+            aliased = self.index.class_method(owner, stmt.value.attr)
+            if aliased is not None:
+                out[stmt.targets[0].id] = aliased
+        return out
+
+    def _method(self, cls: ClassInfo, name: str) -> FunctionInfo | None:
+        found = self.index.class_method(cls, name)
+        if found is not None:
+            return found
+        return self._aliased_methods(cls).get(name)
+
+    def _restored_attrs(self, cls: ClassInfo,
+                        setstate: FunctionInfo | None) -> set[str]:
+        """Attrs ``__setstate__`` assigns, directly or one call deep."""
+        if setstate is None:
+            return set()
+        restored = set(_self_assigned_attrs(setstate.node))
+        for node in ast.walk(setstate.node):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"):
+                continue
+            helper = self._method(cls, node.func.attr)
+            if helper is not None:
+                restored.update(_self_assigned_attrs(helper.node))
+        return restored
+
+    # -- P001: loop-carry state vs the pickle protocol ----------------------
+
+    def _class_level_str_sets(self, cls: ClassInfo) -> dict[str, set[str]]:
+        """Class-body ``NAME = ("a", "b")`` string-tuple constants."""
+        out: dict[str, set[str]] = {}
+        src = self.sources.get(cls.relpath)
+        module_body = list(src.tree.body) if src is not None else []
+        for stmt in list(cls.node.body) + module_body:
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)):
+                continue
+            elts = _constant_str_elts(stmt.value)
+            if elts is not None:
+                out[stmt.targets[0].id] = elts
+        return out
+
+    def _getstate_drops(self, cls: ClassInfo,
+                        getstate: FunctionInfo) -> "tuple[set[str] | None, set[str]]":
+        """``(included, excluded)`` attr sets of one ``__getstate__``.
+
+        ``included is None`` means "everything except ``excluded``"
+        (the dict-comprehension-over-``__slots__`` shape); both empty
+        with ``included`` a set means an unreadable body, which fires
+        nothing.
+        """
+        consts = self._class_level_str_sets(cls)
+        for stmt in _own_statements(getstate.node):
+            if not isinstance(stmt, ast.Return) or stmt.value is None:
+                continue
+            value = stmt.value
+            if isinstance(value, ast.Dict):
+                included = {k.value for k in value.keys
+                            if isinstance(k, ast.Constant)
+                            and isinstance(k.value, str)}
+                return included, set()
+            if isinstance(value, ast.DictComp) and value.generators:
+                excluded: set[str] = set()
+                gen = value.generators[0]
+                for cond in gen.ifs:
+                    if not (isinstance(cond, ast.Compare)
+                            and len(cond.ops) == 1
+                            and isinstance(cond.ops[0], ast.NotIn)):
+                        continue
+                    skip = cond.comparators[0]
+                    elts = _constant_str_elts(skip)
+                    if elts is None and isinstance(skip, ast.Name):
+                        elts = consts.get(skip.id)
+                    if elts is not None:
+                        excluded.update(elts)
+                return None, excluded
+        return set(), set()
+
+    def _check_p001(self) -> None:
+        for cls in self._iter_classes():
+            if DRIVER_MARKER not in cls.methods:
+                continue
+            carried: dict[str, ast.AST] = {}
+            for name in DRIVER_METHODS:
+                fn = self._method(cls, name)
+                if fn is None:
+                    continue
+                for attr, node in _self_assigned_attrs(fn.node).items():
+                    carried.setdefault(attr, node)
+                # Unpicklable values are a violation regardless of the
+                # pickle protocol: no __getstate__ can serialise them.
+                for stmt in _own_statements(fn.node):
+                    if not (isinstance(stmt, ast.Assign)
+                            and any(isinstance(t, ast.Attribute)
+                                    and isinstance(t.value, ast.Name)
+                                    and t.value.id == "self"
+                                    for t in stmt.targets)):
+                        continue
+                    why = _unpicklable_value(stmt.value)
+                    if why is not None:
+                        self.emit(
+                            "P001", cls.relpath, stmt,
+                            f"loop-carry state of {cls.name}.{fn.name}() "
+                            f"is bound to {why}, which cannot round-trip "
+                            f"through the checkpoint pickle")
+            getstate = self._method(cls, "__getstate__")
+            if getstate is None or not carried:
+                continue
+            included, excluded = self._getstate_drops(cls, getstate)
+            setstate = self._method(cls, "__setstate__")
+            restored = self._restored_attrs(cls, setstate)
+            for attr in sorted(carried):
+                dropped = (attr in excluded if included is None
+                           else attr not in included)
+                if dropped and attr not in restored:
+                    self.emit(
+                        "P001", cls.relpath, carried[attr],
+                        f"loop-carry attribute '{attr}' of {cls.name} "
+                        f"(assigned in "
+                        f"{'/'.join(DRIVER_METHODS)}) is dropped by "
+                        f"__getstate__ and never restored in "
+                        f"__setstate__ — a resumed checkpoint would "
+                        f"silently reset it")
+
+    # -- P002: RegionState views need a __setstate__ rebind ------------------
+
+    def _view_column(self, value: ast.expr, aliases: _AliasMap) -> str | None:
+        """RegionState column ``value`` is a view of, if it is one."""
+        expr = value
+        while True:
+            if (isinstance(expr, ast.Call)
+                    and isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr in _VIEW_WRAPPERS):
+                expr = expr.func.value
+            elif isinstance(expr, ast.Subscript):
+                expr = expr.value
+            else:
+                break
+        if (isinstance(expr, ast.Attribute) and expr.attr in REGION_COLUMNS
+                and aliases.is_region_expr(expr.value)):
+            return expr.attr
+        if isinstance(expr, ast.Name):
+            return aliases.columns.get(expr.id)
+        return None
+
+    def _class_view_attrs(self, cls: ClassInfo) -> dict[str, ast.AST]:
+        """Attrs of ``cls`` assigned as views into RegionState columns."""
+        views: dict[str, ast.AST] = {}
+        for name in sorted(cls.methods):
+            fn = cls.methods[name]
+            aliases = _AliasMap(fn.node)
+            for stmt in _own_statements(fn.node):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                column = self._view_column(stmt.value, aliases)
+                if column is None:
+                    continue
+                for target in stmt.targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        views.setdefault(target.attr, stmt)
+        return views
+
+    def _check_p002(self) -> None:
+        for cls in self._iter_classes():
+            views = self._class_view_attrs(cls)
+            if not views:
+                continue
+            setstate = self._method(cls, "__setstate__")
+            if setstate is None:
+                for attr in sorted(views):
+                    self.emit(
+                        "P002", cls.relpath, views[attr],
+                        f"{cls.name}.{attr} is a numpy view into a "
+                        f"RegionState column but the class has no "
+                        f"__setstate__ — default unpickling materialises "
+                        f"a private copy and the restored graph stops "
+                        f"sharing memory (use the Block "
+                        f"__setstate__ -> _rebind_views() pattern)")
+                continue
+            restored = self._restored_attrs(cls, setstate)
+            for attr in sorted(views):
+                if attr not in restored:
+                    self.emit(
+                        "P002", cls.relpath, views[attr],
+                        f"{cls.name}.{attr} is a numpy view into a "
+                        f"RegionState column but __setstate__ never "
+                        f"rebinds it — the restored object would keep a "
+                        f"pickled private copy instead of a view (rebind "
+                        f"it like Block._rebind_views() does)")
+
+    # -- reporting ---------------------------------------------------------
+
+    def emit(self, rule: str, relpath: str, node: ast.AST,
+             message: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        key = (rule, relpath, lineno, col, message)
+        if key in self._emitted:
+            return
+        self._emitted.add(key)
+        self.violations.append(Violation(rule, relpath, lineno, col, message))
+
+
+#: One analysis per engine run, shared by the P001/P002 rule instances.
+_ANALYSIS_CACHE: "WeakKeyDictionary[ProjectContext, PickleAnalysis]" = (
+    WeakKeyDictionary())
+
+
+def project_pickle(ctx: ProjectContext) -> PickleAnalysis:
+    """The (memoized) whole-tree pickle-safety analysis for one run."""
+    analysis = _ANALYSIS_CACHE.get(ctx)
+    if analysis is None:
+        analysis = PickleAnalysis(ctx.sources)
+        _ANALYSIS_CACHE[ctx] = analysis
+    return analysis
+
+
+class _PickleRule(Rule):
+    """Base for the project-level P-rules: filter the shared analysis."""
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Violation]:
+        if not ctx.sources:
+            return
+        for violation in project_pickle(ctx).violations:
+            if violation.rule == self.id:
+                yield violation
+
+
+class LoopCarryPickleRule(_PickleRule):
+    """P001: replay-driver loop-carry state must survive the pickle."""
+
+    id = "P001"
+    title = "replay-driver loop-carry state dropped by the pickle protocol"
+
+
+class ViewRebindRule(_PickleRule):
+    """P002: RegionState views must be rebound in __setstate__."""
+
+    id = "P002"
+    title = "RegionState view pickled without a __setstate__ rebind"
+
+
+class ExecutorPayloadRule(Rule):
+    """P003: payloads handed to a process pool must pickle.
+
+    Per-file: ``pool.submit(lambda: …)`` / ``pool.map(<closure>, …)``
+    raise ``PicklingError`` only at runtime, on whichever machine first
+    runs with more than one worker — the single-worker fast path of
+    ``run_cells`` never touches the pool, so tests can pass while the
+    parallel path is broken.
+    """
+
+    id = "P003"
+    title = "unpicklable payload passed to a process pool"
+
+    def check_file(self, src: SourceFile) -> Iterator[Violation]:
+        for holder in ast.walk(src.tree):
+            if isinstance(holder, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(src, holder)
+
+    def _pool_call(self, expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        func = expr.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        return name in _POOL_CLASSES
+
+    def _check_function(self, src: SourceFile,
+                        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+                        ) -> Iterator[Violation]:
+        pools: set[str] = set()
+        nested: set[str] = set()
+        for node in fn.body:
+            for stmt in ast.walk(node):
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                        and stmt is not fn:
+                    nested.add(stmt.name)
+                elif isinstance(stmt, ast.Assign):
+                    if self._pool_call(stmt.value):
+                        pools.update(t.id for t in stmt.targets
+                                     if isinstance(t, ast.Name))
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    for item in stmt.items:
+                        if (self._pool_call(item.context_expr)
+                                and isinstance(item.optional_vars, ast.Name)):
+                            pools.add(item.optional_vars.id)
+        if not pools:
+            return
+        for node in ast.walk(fn):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in pools
+                    and node.func.attr in ("submit", "map")):
+                continue
+            # map() consumes its iterables parent-side; only the callable
+            # must pickle.  submit() ships every argument to the worker.
+            payloads = (node.args if node.func.attr == "submit"
+                        else node.args[:1])
+            for arg in payloads:
+                why = _unpicklable_value(arg)
+                if why is None and isinstance(arg, ast.Name) \
+                        and arg.id in nested:
+                    why = f"the closure {arg.id}() defined in {fn.name}()"
+                if why is not None:
+                    yield Violation(
+                        self.id, src.relpath, arg.lineno, arg.col_offset,
+                        f"{why} is passed to ProcessPoolExecutor."
+                        f"{node.func.attr}() — it cannot pickle, so the "
+                        f"parallel fan-out fails at runtime (pass a "
+                        f"module-level function and primitive args)")
